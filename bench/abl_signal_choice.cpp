@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation (paper Section IV, Observation 2): what happens if the
+ * runtime optimizes a different signal? For each representative
+ * workload, pick the TLP combination that maximizes
+ *   (a) sum of IPCs (instruction throughput, IT),
+ *   (b) sum of raw attained BW,
+ *   (c) sum of EBs (EB-WS, the paper's signal),
+ * then report the *actual* weighted speedup of each choice relative
+ * to the SD-optimal combination. The paper's argument: IT and raw BW
+ * are biased by per-app scale and cache amplification; EB-WS tracks
+ * WS best.
+ */
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+using namespace ebm;
+
+namespace {
+
+/** Arg-max of the sum of raw attained bandwidths. */
+TlpCombo
+argmaxRawBw(const ComboTable &table)
+{
+    std::size_t best = 0;
+    double best_val = -1.0;
+    for (std::size_t i = 0; i < table.combos.size(); ++i) {
+        if (table.results[i].totalBw > best_val) {
+            best_val = table.results[i].totalBw;
+            best = i;
+        }
+    }
+    return table.combos[best];
+}
+
+} // namespace
+
+int
+main()
+{
+    Experiment exp(2);
+    std::printf("Ablation: optimization-signal choice. WS of each "
+                "signal's argmax combination,\nnormalized to optWS "
+                "(1.0 = the signal found the true optimum).\n\n");
+
+    TextTable out({"Workload", "max sum-IPC", "max raw BW",
+                   "max EB-WS", "++bestTLP"});
+    std::vector<double> it_norm, bw_norm, eb_norm, best_norm;
+
+    for (const Workload &wl : representativeWorkloads()) {
+        const ComboTable table = exp.exhaustive().sweep(wl);
+        const std::vector<double> alone = exp.aloneIpcs(wl);
+        const double opt_ws = Exhaustive::value(
+            table, Exhaustive::argmax(table, OptTarget::SdWS, alone),
+            OptTarget::SdWS, alone);
+
+        auto ws_of = [&](const TlpCombo &c) {
+            return Exhaustive::value(table, c, OptTarget::SdWS,
+                                     alone) /
+                   opt_ws;
+        };
+        const double it = ws_of(
+            Exhaustive::argmax(table, OptTarget::SumIpc));
+        const double bw = ws_of(argmaxRawBw(table));
+        const double eb = ws_of(
+            Exhaustive::argmax(table, OptTarget::EbWS));
+        const double best = ws_of(exp.bestTlpCombo(wl));
+        it_norm.push_back(it);
+        bw_norm.push_back(bw);
+        eb_norm.push_back(eb);
+        best_norm.push_back(best);
+        out.addRow({wl.name, TextTable::num(it), TextTable::num(bw),
+                    TextTable::num(eb), TextTable::num(best)});
+    }
+    out.addRow({"Gmean", TextTable::num(gmean(it_norm)),
+                TextTable::num(gmean(bw_norm)),
+                TextTable::num(gmean(eb_norm)),
+                TextTable::num(gmean(best_norm))});
+    out.print();
+
+    std::printf("\nPaper shape: the EB-WS argmax recovers (nearly) "
+                "all of optWS; the sum-of-IPC argmax is biased toward "
+                "high-IPC apps and the raw-BW argmax toward "
+                "cache-insensitive apps, so both leave WS on the "
+                "table on cache-sensitive pairs.\n");
+    return 0;
+}

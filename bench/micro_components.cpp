@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): raw throughput of
+ * the tag array, MSHR file, DRAM channel, crossbar, trace generator,
+ * and the whole-GPU cycle loop. Useful for tracking simulator
+ * performance regressions; not a paper figure.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/config.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/address_map.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/gpu.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace ebm;
+
+GpuConfig
+benchConfig(std::uint32_t num_apps)
+{
+    GpuConfig cfg;
+    cfg.numApps = num_apps;
+    return cfg;
+}
+
+void
+BM_TagArrayAccess(benchmark::State &state)
+{
+    TagArray tags(GpuConfig{}.l1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tags.access((i++ % 4096) * 128, 0, true));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayAccess);
+
+void
+BM_CacheAccessMissFill(benchmark::State &state)
+{
+    Cache cache(GpuConfig{}.l1, 1);
+    MemRequest req;
+    req.app = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        req.lineAddr = (i++ % 1024) * 128;
+        const CacheOutcome out = cache.access(req);
+        if (out == CacheOutcome::MissNew)
+            cache.fill(req.lineAddr, 0, false);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessMissFill);
+
+void
+BM_DramChannelStreaming(benchmark::State &state)
+{
+    const GpuConfig cfg = benchConfig(1);
+    DramChannel dram(cfg, 1);
+    MemRequest req;
+    req.app = 0;
+    DramCoord coord;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        if (!dram.queueFull()) {
+            coord.bank = static_cast<std::uint32_t>(i / 16 % 16);
+            coord.row = i / 256;
+            coord.col = static_cast<std::uint32_t>(i % 16);
+            dram.enqueue(req, coord);
+            ++i;
+        }
+        benchmark::DoNotOptimize(dram.tick());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramChannelStreaming);
+
+void
+BM_CrossbarTick(benchmark::State &state)
+{
+    const GpuConfig cfg = benchConfig(1);
+    Crossbar xbar(cfg);
+    MemRequest req;
+    req.app = 0;
+    Cycle now = 0;
+    std::uint32_t in = 0;
+    for (auto _ : state) {
+        if (xbar.requestNet().canAccept(in, 0))
+            xbar.requestNet().inject(in, 0, req);
+        in = (in + 1) % cfg.numCores;
+        xbar.tick(++now);
+        MemRequest out;
+        while (xbar.requestNet().tryEject(0, now, out))
+            benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrossbarTick);
+
+void
+BM_TraceGenAddress(benchmark::State &state)
+{
+    TraceGen gen(findApp("BFS"), 128);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.lineAddr(i % 97, i, 0, i));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGenAddress);
+
+void
+BM_GpuCycleSoloStreaming(benchmark::State &state)
+{
+    GpuConfig cfg = benchConfig(1);
+    cfg.numCores = 8;
+    Gpu gpu(cfg, {findApp("BLK")});
+    for (auto _ : state)
+        gpu.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["IPC"] = gpu.appIpc(0);
+}
+BENCHMARK(BM_GpuCycleSoloStreaming);
+
+void
+BM_GpuCycleTwoApps(benchmark::State &state)
+{
+    GpuConfig cfg = benchConfig(2);
+    Gpu gpu(cfg, {findApp("BLK"), findApp("BFS")});
+    for (auto _ : state)
+        gpu.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GpuCycleTwoApps);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Section VI-D sensitivity studies:
+ *  (1) three-application workloads — PBS-WS vs ++bestTLP and ++DynCTA,
+ *  (2) core-partitioning sensitivity — unequal core splits,
+ *  (3) sampling-window length sweep for the online PBS mechanism.
+ */
+#include <cstdio>
+
+#include "core/dyncta.hpp"
+#include "core/pbs_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/workload_suite.hpp"
+
+using namespace ebm;
+
+namespace {
+
+/** WS of @p result for a workload, given alone IPCs. */
+double
+wsOf(const RunResult &result, const std::vector<double> &alone)
+{
+    double ws = 0.0;
+    for (std::size_t a = 0; a < result.apps.size(); ++a)
+        ws += slowdown(result.apps[a].ipc, alone[a]);
+    return ws;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section VI-D: sensitivity studies\n");
+
+    // ---- (1) Three-application workloads -----------------------------
+    {
+        std::printf("\n(1) Three-application workloads (WS normalized "
+                    "to ++bestTLP)\n\n");
+        Experiment exp3(3);
+        TextTable out({"Workload", "++DynCTA", "PBS-WS",
+                       "PBS-WS samples"});
+        for (const Workload &wl : threeAppWorkloads()) {
+            const std::vector<AppProfile> apps = resolveApps(wl);
+            const std::vector<double> alone = exp3.aloneIpcs(wl);
+            const TlpCombo best = exp3.bestTlpCombo(wl);
+
+            const RunResult base =
+                exp3.runner().runStatic(apps, best);
+            const double ws_base = wsOf(base, alone);
+
+            DynCta dyn;
+            const RunResult dyn_r = exp3.onlineRunner().run(apps, dyn);
+
+            PbsPolicy::Params params;
+            params.objective = EbObjective::WS;
+            PbsPolicy pbs(params);
+            const RunResult pbs_r = exp3.onlineRunner().run(apps, pbs);
+
+            out.addRow({wl.name,
+                        TextTable::num(wsOf(dyn_r, alone) / ws_base),
+                        TextTable::num(wsOf(pbs_r, alone) / ws_base),
+                        std::to_string(pbs_r.samplesTaken)});
+        }
+        out.print();
+        std::printf("\nPaper shape: PBS extends to 3+ apps by fixing "
+                    "critical apps in criticality order; it still "
+                    "beats local heuristics.\n");
+    }
+
+    // ---- (2) Core-partitioning sensitivity ----------------------------
+    {
+        std::printf("\n(2) Core-partitioning sensitivity for BLK_BFS "
+                    "(WS normalized to the equal split)\n\n");
+        Experiment exp(2);
+        const Workload wl = makePair("BLK", "BFS");
+        const std::vector<AppProfile> apps = resolveApps(wl);
+        const std::vector<double> alone = exp.aloneIpcs(wl);
+        const TlpCombo best = exp.bestTlpCombo(wl);
+        const std::uint32_t n =
+            exp.runner().config().numCores;
+
+        double base_ws = 0.0;
+        TextTable out({"Cores (BLK/BFS)", "++bestTLP WS",
+                       "PBS-WS WS", "PBS gain"});
+        for (const auto &[c0, c1] :
+             std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+                 {n / 2, n / 2}, {n * 5 / 8, n * 3 / 8},
+                 {n * 3 / 8, n * 5 / 8}}) {
+            const RunResult base =
+                exp.runner().runStatic(apps, best, {c0, c1});
+            PbsPolicy::Params params;
+            params.objective = EbObjective::WS;
+            PbsPolicy pbs(params);
+            const RunResult tuned =
+                exp.onlineRunner().run(apps, pbs, {c0, c1});
+            const double ws_b = wsOf(base, alone);
+            const double ws_p = wsOf(tuned, alone);
+            if (base_ws == 0.0)
+                base_ws = ws_b;
+            out.addRow({std::to_string(c0) + "/" + std::to_string(c1),
+                        TextTable::num(ws_b / base_ws),
+                        TextTable::num(ws_p / base_ws),
+                        TextTable::num(ws_p / ws_b)});
+        }
+        out.print();
+        std::printf("\nPaper shape: PBS's gain persists across core "
+                    "splits — the bandwidth knob matters regardless "
+                    "of the core partition.\n");
+    }
+
+    // ---- (3) L2 way-partitioning sensitivity ---------------------------
+    {
+        std::printf("\n(3) L2 way-partitioning for BLK_BFS under "
+                    "++bestTLP (shared vs 50/50 ways)\n\n");
+        Experiment exp(2);
+        const Workload wl = makePair("BLK", "BFS");
+        const std::vector<AppProfile> apps = resolveApps(wl);
+        const std::vector<double> alone = exp.aloneIpcs(wl);
+        const TlpCombo best = exp.bestTlpCombo(wl);
+        const GpuConfig &cfg = exp.runner().config();
+
+        /** Policy that applies a TLP combo plus an L2 way split. */
+        class SplitPolicy : public StaticTlpPolicy
+        {
+          public:
+            SplitPolicy(TlpCombo combo, std::uint32_t ways)
+                : StaticTlpPolicy("split", std::move(combo)),
+                  ways_(ways)
+            {
+            }
+            void
+            onRunStart(Gpu &gpu) override
+            {
+                StaticTlpPolicy::onRunStart(gpu);
+                const std::uint32_t half = ways_ / 2;
+                gpu.setAppL2WayPartition(0, 0, half);
+                gpu.setAppL2WayPartition(1, half, ways_ - half);
+            }
+
+          private:
+            std::uint32_t ways_;
+        };
+
+        const RunResult shared = exp.runner().runStatic(apps, best);
+        SplitPolicy split_policy(best, cfg.l2Slice.assoc);
+        const RunResult split = exp.runner().run(apps, split_policy);
+
+        TextTable out({"L2 policy", "WS", "L2MR-BLK", "L2MR-BFS"});
+        out.addRow({"shared (baseline)",
+                    TextTable::num(wsOf(shared, alone)),
+                    TextTable::num(shared.apps[0].l2Mr),
+                    TextTable::num(shared.apps[1].l2Mr)});
+        out.addRow({"50/50 way split",
+                    TextTable::num(wsOf(split, alone)),
+                    TextTable::num(split.apps[0].l2Mr),
+                    TextTable::num(split.apps[1].l2Mr)});
+        out.print();
+        std::printf("\nPaper shape: cache partitioning alone cannot "
+                    "recover what TLP management recovers — the "
+                    "bandwidth interference remains.\n");
+    }
+
+    // ---- (4) Sampling-window sweep -------------------------------------
+    {
+        std::printf("\n(4) Sampling-window length sweep for PBS-WS on "
+                    "BLK_TRD (WS normalized to ++bestTLP)\n\n");
+        Experiment exp(2);
+        const Workload wl = makePair("BLK", "TRD");
+        const std::vector<AppProfile> apps = resolveApps(wl);
+        const std::vector<double> alone = exp.aloneIpcs(wl);
+        const TlpCombo best = exp.bestTlpCombo(wl);
+        const RunResult base = exp.runner().runStatic(apps, best);
+        const double ws_base = wsOf(base, alone);
+
+        TextTable out({"Window (cycles)", "PBS-WS (norm WS)",
+                       "samples"});
+        for (Cycle window : {500u, 1000u, 1500u, 3000u}) {
+            RunOptions opts = Experiment::onlineOptions();
+            opts.windowCycles = window;
+            Runner runner(exp.runner().config(), opts);
+            PbsPolicy::Params params;
+            params.objective = EbObjective::WS;
+            PbsPolicy pbs(params);
+            const RunResult r = runner.run(apps, pbs);
+            out.addRow({std::to_string(window),
+                        TextTable::num(wsOf(r, alone) / ws_base),
+                        std::to_string(r.samplesTaken)});
+        }
+        out.print();
+        std::printf("\nPaper shape: results are stable once the "
+                    "window is long enough for trends to settle "
+                    "(the paper found ~10k cycles sufficient; the "
+                    "scaled machine settles faster).\n");
+    }
+    return 0;
+}

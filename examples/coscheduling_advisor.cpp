@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Co-scheduling advisor: given a set of applications waiting to run,
+ * evaluate every pairing under PBS-WS and report which pairs co-exist
+ * well (high combined WS) and which should not share the GPU — the
+ * scheduling decision the paper's introduction motivates.
+ *
+ * Usage: coscheduling_advisor [APP1 APP2 ...]
+ *        (defaults to BLK BFS TRD JPEG LUD)
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pbs_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/workload_suite.hpp"
+
+using namespace ebm;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = {"BLK", "BFS", "TRD", "JPEG", "LUD"};
+    for (const std::string &name : names) {
+        if (!hasApp(name)) {
+            std::fprintf(stderr,
+                         "unknown app '%s' (see Table IV catalog)\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+
+    Experiment exp(2);
+    std::printf("Co-scheduling advisor: %zu candidate apps, "
+                "%zu pairs\n\n",
+                names.size(), names.size() * (names.size() - 1) / 2);
+
+    struct PairScore
+    {
+        std::string name;
+        double ws;
+        double fi;
+        TlpCombo tlp;
+    };
+    std::vector<PairScore> scores;
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            const Workload wl = makePair(names[i], names[j]);
+            PbsPolicy::Params params;
+            params.objective = EbObjective::WS;
+            PbsPolicy pbs(params);
+            const RunResult r =
+                exp.onlineRunner().run(resolveApps(wl), pbs);
+            const SdScores s = exp.score(wl, r);
+            scores.push_back({wl.name, s.ws, s.fi, r.finalTlp});
+        }
+    }
+
+    std::sort(scores.begin(), scores.end(),
+              [](const PairScore &a, const PairScore &b) {
+                  return a.ws > b.ws;
+              });
+
+    TextTable out({"Rank", "Pair", "WS (PBS-WS)", "FI", "chosen TLP"});
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        const PairScore &p = scores[i];
+        out.addRow({std::to_string(i + 1), p.name,
+                    TextTable::num(p.ws), TextTable::num(p.fi),
+                    "(" + std::to_string(p.tlp[0]) + "," +
+                        std::to_string(p.tlp[1]) + ")"});
+    }
+    out.print();
+
+    std::printf("\nPairs near WS=2.0 barely interfere; pairs far "
+                "below 1.0 contend so heavily they are better run "
+                "sequentially.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fairness study: a bandwidth hog (TRD) co-located with a
+ * cache-sensitive victim (BFS). Shows how each policy family trades
+ * system throughput against slowdown balance, and how PBS-FI's
+ * scaled-EB balancing restores fairness that ++bestTLP destroys.
+ */
+#include <cstdio>
+
+#include "core/ccws.hpp"
+#include "core/dyncta.hpp"
+#include "core/mod_bypass.hpp"
+#include "core/pbs_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/workload_suite.hpp"
+
+using namespace ebm;
+
+int
+main()
+{
+    Experiment exp(2);
+    const Workload wl = makePair("TRD", "BFS");
+    const std::vector<AppProfile> apps = resolveApps(wl);
+
+    std::printf("Fairness study: bandwidth hog %s vs cache-sensitive "
+                "%s\n\n",
+                wl.appNames[0].c_str(), wl.appNames[1].c_str());
+
+    TextTable out({"Scheme", "SD-TRD", "SD-BFS", "WS", "FI", "HS"});
+    auto report = [&](const std::string &name, const RunResult &r) {
+        const SdScores s = exp.score(wl, r);
+        out.addRow({name, TextTable::num(s.sds[0]),
+                    TextTable::num(s.sds[1]), TextTable::num(s.ws),
+                    TextTable::num(s.fi), TextTable::num(s.hs)});
+        return s;
+    };
+
+    {
+        StaticTlpPolicy policy("++maxTLP",
+                               {GpuConfig::tlpLevels().back(),
+                                GpuConfig::tlpLevels().back()});
+        report("++maxTLP", exp.runner().run(apps, policy));
+    }
+    {
+        StaticTlpPolicy policy("++bestTLP", exp.bestTlpCombo(wl));
+        report("++bestTLP", exp.runner().run(apps, policy));
+    }
+    {
+        DynCta policy;
+        report("++DynCTA", exp.onlineRunner().run(apps, policy));
+    }
+    {
+        Ccws policy;
+        report("++CCWS", exp.onlineRunner().run(apps, policy));
+    }
+    {
+        ModBypass policy;
+        report("Mod+Bypass", exp.onlineRunner().run(apps, policy));
+    }
+    {
+        PbsPolicy::Params params;
+        params.objective = EbObjective::WS;
+        PbsPolicy policy(params);
+        report("PBS-WS", exp.onlineRunner().run(apps, policy));
+    }
+    {
+        PbsPolicy::Params params;
+        params.objective = EbObjective::FI;
+        params.scaling = ScalingMode::SampledAlone;
+        params.settleWindows = 1;
+        params.measureWindows = 2;
+        PbsPolicy policy(params);
+        report("PBS-FI", exp.onlineRunner().run(apps, policy));
+    }
+    {
+        PbsPolicy::Params params;
+        params.objective = EbObjective::HS;
+        params.scaling = ScalingMode::SampledAlone;
+        params.settleWindows = 1;
+        params.measureWindows = 2;
+        PbsPolicy policy(params);
+        report("PBS-HS", exp.onlineRunner().run(apps, policy));
+    }
+    out.print();
+
+    std::printf("\nReading guide: FI=1 means both apps slow down "
+                "equally. PBS-FI should show the most balanced SD "
+                "column pair; PBS-WS the highest WS; PBS-HS a "
+                "compromise.\n");
+    return 0;
+}

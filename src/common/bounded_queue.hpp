@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fixed-capacity FIFO used for every hardware queue in the model
+ * (interconnect ports, memory-controller queues, MSHR fill queues).
+ * Back-pressure is explicit: producers must check full() and stall.
+ */
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+/** Bounded FIFO with explicit back-pressure semantics. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        if (capacity == 0)
+            fatal("BoundedQueue: capacity must be > 0");
+    }
+
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Enqueue; the caller must have checked full(). */
+    void
+    push(T item)
+    {
+        if (full())
+            panic("BoundedQueue: push into a full queue");
+        items_.push_back(std::move(item));
+    }
+
+    /** Enqueue if space is available. @return true on success. */
+    bool
+    tryPush(T item)
+    {
+        if (full())
+            return false;
+        items_.push_back(std::move(item));
+        return true;
+    }
+
+    /** Front element; the caller must have checked empty(). */
+    T &
+    front()
+    {
+        if (empty())
+            panic("BoundedQueue: front of an empty queue");
+        return items_.front();
+    }
+
+    const T &
+    front() const
+    {
+        if (empty())
+            panic("BoundedQueue: front of an empty queue");
+        return items_.front();
+    }
+
+    /** Dequeue the front element. */
+    T
+    pop()
+    {
+        if (empty())
+            panic("BoundedQueue: pop from an empty queue");
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Iteration support (e.g. FR-FCFS scans its queue). */
+    auto begin() { return items_.begin(); }
+    auto end() { return items_.end(); }
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+
+    /** Remove the element at @p it and return it. */
+    template <typename Iter>
+    T
+    extract(Iter it)
+    {
+        T item = std::move(*it);
+        items_.erase(it);
+        return item;
+    }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+} // namespace ebm

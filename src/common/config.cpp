@@ -1,0 +1,51 @@
+#include "common/config.hpp"
+
+#include <string>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+const std::vector<std::uint32_t> &
+GpuConfig::tlpLevels()
+{
+    static const std::vector<std::uint32_t> levels =
+        {1, 2, 4, 6, 8, 12, 16, 24};
+    return levels;
+}
+
+double
+GpuConfig::peakBytesPerCoreCycle() const
+{
+    // Each channel can move one line-size burst every `burstCycles`
+    // DRAM clocks when fully streaming.
+    const double bytes_per_dram_cycle =
+        static_cast<double>(l2Slice.lineBytes) / dram.burstCycles;
+    return numPartitions * bytes_per_dram_cycle * dramClockRatio;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numApps == 0)
+        fatal("GpuConfig: numApps must be >= 1");
+    if (numCores % numApps != 0) {
+        fatal("GpuConfig: numCores (" + std::to_string(numCores) +
+              ") must divide evenly among " + std::to_string(numApps) +
+              " apps");
+    }
+    if (maxWarpsPerCore % schedulersPerCore != 0)
+        fatal("GpuConfig: warps must divide evenly among schedulers");
+    if (l1.lineBytes != l2Slice.lineBytes)
+        fatal("GpuConfig: L1 and L2 line sizes must match");
+    if (interleaveBytes < l2Slice.lineBytes)
+        fatal("GpuConfig: interleave chunk smaller than a cache line");
+    if (banksPerChannel % bankGroups != 0)
+        fatal("GpuConfig: banks must divide evenly among bank groups");
+    if (l1.numSets() == 0 || l2Slice.numSets() == 0)
+        fatal("GpuConfig: cache geometry yields zero sets");
+    if (dramClockRatio <= 0.0 || dramClockRatio > 4.0)
+        fatal("GpuConfig: implausible dramClockRatio");
+}
+
+} // namespace ebm

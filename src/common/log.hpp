@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal logging / error-exit helpers in the gem5 spirit.
+ *
+ * - fatal():  the simulation cannot continue due to a user error
+ *             (bad configuration, invalid arguments); exits with code 1.
+ * - panic():  an internal invariant was violated (a simulator bug);
+ *             aborts so a core dump / debugger can be attached.
+ * - warn():   something may behave approximately; execution continues.
+ * - inform(): status messages with no connotation of misbehaviour.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ebm {
+
+namespace detail {
+
+[[noreturn]] inline void
+exitMessage(const char *tag, const std::string &msg, bool hard_abort)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    if (hard_abort)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Terminate due to a user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    detail::exitMessage("fatal", msg, false);
+}
+
+/** Terminate due to an internal simulator bug. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    detail::exitMessage("panic", msg, true);
+}
+
+/** Non-fatal warning. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace ebm

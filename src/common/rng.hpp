@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic hash-based pseudo-randomness.
+ *
+ * All stochastic decisions in the simulator (address pattern draws,
+ * compute-latency jitter, ...) are pure functions of structural
+ * identifiers (app id, warp id, instruction index), so any experiment
+ * run twice produces bit-identical output, and changing the TLP of one
+ * application does not perturb the instruction stream of another.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ebm {
+
+/** 64-bit SplitMix64 finalizer; a strong, cheap integer mixer. */
+inline constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine up to four identifiers into one deterministic 64-bit hash. */
+inline constexpr std::uint64_t
+hashIds(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+        std::uint64_t d = 0)
+{
+    std::uint64_t h = mix64(a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    h = mix64(h ^ d);
+    return h;
+}
+
+/** Uniform draw in [0, 1) from a hash value. */
+inline constexpr double
+hashToUnit(std::uint64_t h)
+{
+    // 53 high bits -> double mantissa.
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/**
+ * Small counter-based RNG for places that want a stream rather than a
+ * pure function (e.g. the harness's workload mixers). Deterministic for
+ * a given seed.
+ */
+class Rng
+{
+  public:
+    explicit constexpr Rng(std::uint64_t seed) : state_(mix64(seed ^ 0x5bf0'3f25'9a1c'77ddull)) {}
+
+    /** Next raw 64-bit value. */
+    constexpr std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        return mix64(state_);
+    }
+
+    /** Uniform draw in [0, 1). */
+    constexpr double nextUnit() { return hashToUnit(next()); }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    constexpr std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace ebm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lightweight statistics counters with interval (sampling-window)
+ * support. The EB monitor needs both cumulative values and deltas over
+ * the current sampling window, so every counter remembers the value at
+ * the last checkpoint.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ebm {
+
+/** A monotonically increasing event counter with window checkpoints. */
+class Counter
+{
+  public:
+    /** Increment by @p n events. */
+    void add(std::uint64_t n = 1) { total_ += n; }
+
+    /** Cumulative count since construction/reset. */
+    std::uint64_t total() const { return total_; }
+
+    /** Count accumulated since the last checkpoint(). */
+    std::uint64_t sinceCheckpoint() const { return total_ - mark_; }
+
+    /** Start a new sampling window at the current value. */
+    void checkpoint() { mark_ = total_; }
+
+    /** Zero everything (new simulation). */
+    void
+    reset()
+    {
+        total_ = 0;
+        mark_ = 0;
+    }
+
+  private:
+    std::uint64_t total_ = 0;
+    std::uint64_t mark_ = 0;
+};
+
+/** Ratio of two counters over a window, with a 0/0 -> fallback rule. */
+inline double
+windowRatio(const Counter &num, const Counter &den, double fallback = 0.0)
+{
+    const auto d = den.sinceCheckpoint();
+    if (d == 0)
+        return fallback;
+    return static_cast<double>(num.sinceCheckpoint()) / static_cast<double>(d);
+}
+
+/** Ratio of cumulative totals, with a 0/0 -> fallback rule. */
+inline double
+totalRatio(const Counter &num, const Counter &den, double fallback = 0.0)
+{
+    if (den.total() == 0)
+        return fallback;
+    return static_cast<double>(num.total()) / static_cast<double>(den.total());
+}
+
+} // namespace ebm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental identifier and quantity types shared by every subsystem.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ebm {
+
+/** Simulation time in core-clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the global linear address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a co-scheduled application (0-based). */
+using AppId = std::uint32_t;
+
+/** Identifier of a SIMT core (0-based, global across all apps). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a memory partition / channel (0-based). */
+using PartitionId = std::uint32_t;
+
+/** Identifier of a warp within a core (0-based). */
+using WarpId = std::uint32_t;
+
+/** Sentinel meaning "no application". */
+inline constexpr AppId kInvalidApp = 0xffffffffu;
+
+/** Sentinel meaning "no cycle scheduled". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+} // namespace ebm

@@ -1,0 +1,88 @@
+#include "core/eb_monitor.hpp"
+
+namespace ebm {
+
+EbMonitor::EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency)
+    : gpu_(gpu), mode_(mode), relayLatency_(relay_latency)
+{
+}
+
+EbSample
+EbMonitor::closeWindow(Cycle)
+{
+    const std::uint32_t num_apps = gpu_.numApps();
+    EbSample sample;
+    sample.apps.resize(num_apps);
+    sample.tlp.resize(num_apps);
+
+    // Window length in DRAM cycles, for bandwidth normalization.
+    const Cycle dram_now = gpu_.partition(0).dramCyclesElapsed();
+    const Cycle dram_window = dram_now > dramMark_ ? dram_now - dramMark_
+                                                   : 0;
+    dramMark_ = dram_now;
+
+    for (AppId app = 0; app < num_apps; ++app) {
+        AppRunStats &out = sample.apps[app];
+        sample.tlp[app] = gpu_.appTlp(app);
+
+        if (mode_ == Mode::DesignatedUnits) {
+            // (a) L1 miss rate from the app's designated (first) core.
+            const SimtCore &core = gpu_.core(gpu_.coresOf(app).front());
+            out.l1Mr = core.l1().stats().windowMissRate(app);
+
+            // (b) L2 miss rate and attained BW from partition 0,
+            //     scaled up by the partition count (the paper observes
+            //     uniform distribution across partitions).
+            const MemoryPartition &part = gpu_.partition(0);
+            out.l2Mr = part.l2().stats().windowMissRate(app);
+            const double data = static_cast<double>(
+                part.windowDataCycles(app));
+            out.bw = dram_window == 0
+                         ? 0.0
+                         : data / static_cast<double>(dram_window);
+        } else {
+            // Aggregate window deltas across every core and partition.
+            std::uint64_t l1a = 0, l1m = 0, l2a = 0, l2m = 0, data = 0;
+            for (CoreId id : gpu_.coresOf(app)) {
+                const CacheStats &s = gpu_.core(id).l1().stats();
+                l1a += s.windowAccesses(app);
+                l1m += s.windowMisses(app);
+            }
+            for (PartitionId p = 0; p < gpu_.numPartitions(); ++p) {
+                const MemoryPartition &part = gpu_.partition(p);
+                l2a += part.l2().stats().windowAccesses(app);
+                l2m += part.l2().stats().windowMisses(app);
+                data += part.windowDataCycles(app);
+            }
+            out.l1Mr = l1a == 0 ? 1.0
+                                : static_cast<double>(l1m) /
+                                      static_cast<double>(l1a);
+            out.l2Mr = l2a == 0 ? 1.0
+                                : static_cast<double>(l2m) /
+                                      static_cast<double>(l2a);
+            const double denom = static_cast<double>(dram_window) *
+                                 gpu_.numPartitions();
+            out.bw = denom == 0.0 ? 0.0
+                                  : static_cast<double>(data) / denom;
+        }
+        sample.totalBw += out.bw;
+    }
+    return sample;
+}
+
+EbMonitor::HardwareCost
+EbMonitor::hardwareCost(std::uint32_t num_apps)
+{
+    // Paper Section V-E: two 32-bit registers per core (L1 accesses
+    // and misses); per partition, three 32-bit registers (L2 accesses,
+    // misses, data cycles) and one 5-bit TLP register, per app; one
+    // 16-entry sampling table of two EB values each (64 bytes).
+    HardwareCost cost;
+    cost.bitsPerCore = 2 * 32;
+    cost.bitsPerPartition = num_apps * (3 * 32 + 5);
+    cost.relayBitsPerWindow = num_apps * 3 * 32;
+    cost.samplingTableBytes = 64;
+    return cost;
+}
+
+} // namespace ebm

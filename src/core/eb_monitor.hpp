@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The hardware EB sampling mechanism of the paper's Figure 8.
+ *
+ * To keep overheads low, the paper samples (a) the L1 miss rate from
+ * one *designated core* per application, and (b) each application's
+ * attained bandwidth and L2 miss rate from one *designated memory
+ * partition*, exploiting the observed uniformity of miss rates and
+ * bandwidth across units. The sampled values are relayed over the
+ * crossbar with a modeled latency, so a window's sample only becomes
+ * visible to the PBS mechanism after that delay.
+ *
+ * A "full" mode that aggregates every core and partition is provided
+ * for validating the designated-unit approximation (unit tested).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/eb_sample.hpp"
+#include "sim/gpu.hpp"
+
+namespace ebm {
+
+/** Per-application runtime EB sampler. */
+class EbMonitor
+{
+  public:
+    /** How much of the machine the monitor reads. */
+    enum class Mode {
+        DesignatedUnits, ///< One core per app + one partition (paper).
+        FullMachine,     ///< Aggregate everything (validation).
+    };
+
+    /**
+     * @param gpu            machine to observe
+     * @param mode           sampling scope
+     * @param relay_latency  core cycles to relay counters to the cores
+     */
+    EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency = 100);
+
+    /**
+     * Close the current sampling window at time @p now and return the
+     * sample. The caller must subsequently call beginWindow() (via the
+     * Gpu checkpoint) before the next window.
+     */
+    EbSample closeWindow(Cycle now);
+
+    /** Cycle at which the sample closed at @p now becomes usable. */
+    Cycle sampleReadyAt(Cycle closed_at) const
+    {
+        return closed_at + relayLatency_;
+    }
+
+    Cycle relayLatency() const { return relayLatency_; }
+    Mode mode() const { return mode_; }
+
+    /**
+     * Static hardware cost accounting (paper Section V-E): storage
+     * bits per core and per memory partition, bits relayed per window,
+     * and sampling-table bytes. Used by the overheads bench.
+     */
+    struct HardwareCost
+    {
+        std::uint32_t bitsPerCore;
+        std::uint32_t bitsPerPartition;
+        std::uint32_t relayBitsPerWindow;
+        std::uint32_t samplingTableBytes;
+    };
+    static HardwareCost hardwareCost(std::uint32_t num_apps);
+
+  private:
+    const Gpu &gpu_;
+    Mode mode_;
+    Cycle relayLatency_;
+    /** DRAM cycles at the start of the current window. */
+    Cycle dramMark_ = 0;
+};
+
+} // namespace ebm

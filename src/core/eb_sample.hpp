@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A sampling-window snapshot of per-application effective bandwidth,
+ * as produced by the hardware monitor (EbMonitor) or an offline run.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/metrics.hpp"
+
+namespace ebm {
+
+/** Per-application EB observation for one sampling window. */
+struct EbSample
+{
+    /** Per-app runtime observables (ipc unused by the hardware). */
+    std::vector<AppRunStats> apps;
+
+    /** Sum of per-app attained bandwidth (utilization check). */
+    double totalBw = 0.0;
+
+    /** The TLP combination in force during the window. */
+    std::vector<std::uint32_t> tlp;
+
+    /** Per-app effective bandwidth values. */
+    std::vector<double>
+    ebs() const
+    {
+        std::vector<double> v;
+        v.reserve(apps.size());
+        for (const AppRunStats &a : apps)
+            v.push_back(a.eb());
+        return v;
+    }
+};
+
+} // namespace ebm

@@ -1,0 +1,134 @@
+#include "core/pbs_policy.hpp"
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+std::string
+PbsPolicy::name() const
+{
+    switch (params_.objective) {
+      case EbObjective::WS:
+        return "PBS-WS";
+      case EbObjective::FI:
+        return "PBS-FI";
+      case EbObjective::HS:
+        return "PBS-HS";
+    }
+    return "PBS-?";
+}
+
+void
+PbsPolicy::startSearch(Gpu &gpu, Cycle now)
+{
+    search_ = std::make_unique<PbsSearch>(
+        params_.objective, gpu.numApps(), GpuConfig::tlpLevels(),
+        params_.scaling, params_.userScale);
+    windowsSinceConverged_ = 0;
+    if (const auto combo = search_->nextCombo()) {
+        apply(gpu, now, *combo);
+        ++combosVisited_;
+    }
+    beginSampleWindow();
+}
+
+void
+PbsPolicy::beginSampleWindow()
+{
+    settleLeft_ = params_.settleWindows;
+    accum_.clear();
+}
+
+void
+PbsPolicy::apply(Gpu &gpu, Cycle now, const TlpCombo &combo)
+{
+    if (combo == applied_)
+        return;
+    applied_ = combo;
+    for (AppId app = 0; app < gpu.numApps(); ++app)
+        gpu.setAppTlp(app, combo[app]);
+    timeline_.emplace_back(now, combo);
+}
+
+void
+PbsPolicy::onRunStart(Gpu &gpu)
+{
+    applied_.clear();
+    timeline_.clear();
+    samples_ = 0;
+    combosVisited_ = 0;
+    startSearch(gpu, 0);
+}
+
+EbSample
+PbsPolicy::averagedSample() const
+{
+    if (accum_.empty())
+        panic("PbsPolicy: averaging with no windows accumulated");
+    EbSample avg = accum_.front();
+    const double n = static_cast<double>(accum_.size());
+    for (std::size_t w = 1; w < accum_.size(); ++w) {
+        avg.totalBw += accum_[w].totalBw;
+        for (std::size_t a = 0; a < avg.apps.size(); ++a) {
+            avg.apps[a].bw += accum_[w].apps[a].bw;
+            avg.apps[a].l1Mr += accum_[w].apps[a].l1Mr;
+            avg.apps[a].l2Mr += accum_[w].apps[a].l2Mr;
+        }
+    }
+    avg.totalBw /= n;
+    for (AppRunStats &a : avg.apps) {
+        a.bw /= n;
+        a.l1Mr /= n;
+        a.l2Mr /= n;
+    }
+    return avg;
+}
+
+void
+PbsPolicy::onWindow(Gpu &gpu, Cycle now, const EbSample &sample)
+{
+    if (search_ == nullptr) {
+        // Converged and holding. Optionally restart the search
+        // periodically to track phase changes.
+        if (params_.reverifyWindows != 0 &&
+            ++windowsSinceConverged_ >= params_.reverifyWindows) {
+            startSearch(gpu, now);
+        }
+        return;
+    }
+
+    ++samples_; // Every window spent searching is overhead.
+
+    // Multi-window sampling: discard settle windows after a TLP
+    // change, then average the measurement windows.
+    if (settleLeft_ > 0) {
+        --settleLeft_;
+        return;
+    }
+    accum_.push_back(sample);
+    if (accum_.size() < params_.measureWindows)
+        return;
+
+    search_->observe(averagedSample());
+
+    if (search_->done()) {
+        apply(gpu, now, search_->best());
+        search_.reset();
+        windowsSinceConverged_ = 0;
+        return;
+    }
+    if (const auto combo = search_->nextCombo()) {
+        apply(gpu, now, *combo);
+        ++combosVisited_;
+    }
+    beginSampleWindow();
+}
+
+void
+PbsPolicy::onKernelRelaunch(Gpu &gpu, Cycle now)
+{
+    // The paper restarts PBS whenever any kernel is re-launched.
+    startSearch(gpu, now);
+}
+
+} // namespace ebm

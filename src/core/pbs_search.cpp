@@ -1,0 +1,354 @@
+#include "core/pbs_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** The co-runner pin target during probing (Guideline 1). */
+constexpr std::uint32_t kPinTarget = 4;
+
+/** The ladder level closest to the probe pin target. */
+std::uint32_t
+pinLevel(const std::vector<std::uint32_t> &levels)
+{
+    std::uint32_t best = levels.front();
+    for (std::uint32_t level : levels) {
+        const auto dist = [](std::uint32_t a) {
+            return a > kPinTarget ? a - kPinTarget : kPinTarget - a;
+        };
+        if (dist(level) < dist(best))
+            best = level;
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+PbsSearch::probeLadder(const std::vector<std::uint32_t> &levels)
+{
+    // Geometric subset "1, 2, 4, 8, ..." of the configured ladder,
+    // always including the top level.
+    std::vector<std::uint32_t> ladder;
+    std::uint32_t want = 1;
+    for (std::uint32_t level : levels) {
+        if (level >= want) {
+            ladder.push_back(level);
+            want = level * 2;
+        }
+    }
+    if (!ladder.empty() && ladder.back() != levels.back())
+        ladder.push_back(levels.back());
+    return ladder;
+}
+
+PbsSearch::PbsSearch(EbObjective objective, std::uint32_t num_apps,
+                     std::vector<std::uint32_t> levels,
+                     ScalingMode scaling, std::vector<double> user_scale)
+    : objective_(objective),
+      numApps_(num_apps),
+      levels_(std::move(levels)),
+      scaling_(scaling),
+      scale_(num_apps, 1.0)
+{
+    if (numApps_ < 2)
+        fatal("PbsSearch: needs at least two applications");
+    if (levels_.size() < 2)
+        fatal("PbsSearch: needs at least two TLP levels");
+    if (!std::is_sorted(levels_.begin(), levels_.end()))
+        fatal("PbsSearch: levels must be ascending");
+
+    if (scaling_ == ScalingMode::UserGroup) {
+        if (user_scale.size() != numApps_)
+            fatal("PbsSearch: user scale vector size mismatch");
+        scale_ = std::move(user_scale);
+    }
+
+    probeLadder_ = probeLadder(levels_);
+    probeValues_.assign(numApps_, {});
+    probeEbs_.assign(numApps_, {});
+
+    if (scaling_ == ScalingMode::SampledAlone) {
+        stage_ = Stage::ScaleProbe;
+        buildScaleProbes();
+    } else {
+        stage_ = Stage::Probe;
+        buildProbes();
+    }
+}
+
+void
+PbsSearch::buildScaleProbes()
+{
+    // One near-alone probe per app: the app at the pin level, every
+    // co-runner throttled to the quietest TLP so it interferes least.
+    plan_.clear();
+    planPos_ = 0;
+    for (AppId app = 0; app < numApps_; ++app) {
+        TlpCombo combo(numApps_, levels_.front());
+        combo[app] = pinLevel(levels_);
+        plan_.push_back(combo);
+    }
+}
+
+void
+PbsSearch::buildProbes()
+{
+    // For each app, sweep its axis over the probe ladder with every
+    // other app pinned near the pin target.
+    plan_.clear();
+    planPos_ = 0;
+    for (AppId app = 0; app < numApps_; ++app) {
+        for (std::uint32_t level : probeLadder_) {
+            TlpCombo combo(numApps_, pinLevel(levels_));
+            combo[app] = level;
+            plan_.push_back(combo);
+        }
+    }
+}
+
+std::optional<TlpCombo>
+PbsSearch::nextCombo() const
+{
+    if (stage_ == Stage::Done)
+        return std::nullopt;
+    if (stage_ == Stage::Tune)
+        return current_;
+    if (stage_ == Stage::Refine) {
+        TlpCombo combo(numApps_, pinLevel(levels_));
+        combo[criticalApp_] = refineLevels_[refinePos_];
+        return combo;
+    }
+    return plan_[planPos_];
+}
+
+double
+PbsSearch::objectiveOf(const EbSample &sample) const
+{
+    const std::vector<double> ebs = sample.ebs();
+    switch (objective_) {
+      case EbObjective::WS:
+        return ebWeightedSpeedup(ebs);
+      case EbObjective::FI:
+        return ebFairnessIndex(ebs, scale_);
+      case EbObjective::HS:
+        return ebHarmonicSpeedup(ebs, scale_);
+    }
+    panic("PbsSearch: unknown objective");
+}
+
+void
+PbsSearch::observe(const EbSample &sample)
+{
+    ++samplesTaken_;
+    switch (stage_) {
+      case Stage::ScaleProbe: {
+        const AppId app = static_cast<AppId>(planPos_);
+        scale_[app] = std::max(sample.apps[app].eb(), 1e-9);
+        ++planPos_;
+        if (planPos_ >= plan_.size()) {
+            stage_ = Stage::Probe;
+            buildProbes();
+        }
+        return;
+      }
+      case Stage::Probe: {
+        const std::size_t per_app = probeLadder_.size();
+        const AppId app = static_cast<AppId>(planPos_ / per_app);
+        probeValues_[app].push_back(objectiveOf(sample));
+        probeEbs_[app].push_back(sample.ebs());
+        ++planPos_;
+        if (planPos_ >= plan_.size())
+            analyzeProbes();
+        return;
+      }
+      case Stage::Refine: {
+        const double value = objectiveOf(sample);
+        if (value > refineBestValue_) {
+            refineBestValue_ = value;
+            criticalLevel_ = refineLevels_[refinePos_];
+        }
+        ++refinePos_;
+        if (refinePos_ >= refineLevels_.size())
+            beginTune();
+        return;
+      }
+      case Stage::Tune:
+        stepTune(objectiveOf(sample));
+        return;
+      case Stage::Done:
+        panic("PbsSearch: observe after completion");
+    }
+}
+
+void
+PbsSearch::analyzeProbes()
+{
+    // Criticality. For WS/HS: the app whose own TLP axis causes the
+    // largest drop in the objective (the paper's sharp-drop signal).
+    // For FI the balance optimum lies on a diagonal ridge, so the
+    // drop signal can strand the search at an axis-aligned local
+    // optimum; instead the critical app is the one whose axis gets
+    // *closest to balance* — fixing it there lets the tune stage
+    // finish the job along the other axis.
+    double best_signal = -1.0;
+    for (AppId app = 0; app < numApps_; ++app) {
+        const auto &vals = probeValues_[app];
+        double signal = 0.0;
+        for (std::size_t i = 1; i < vals.size(); ++i) {
+            const double delta = vals[i] - vals[i - 1];
+            if (objective_ == EbObjective::FI)
+                signal = std::max({signal, vals[i], vals[i - 1]});
+            else
+                signal = std::max(signal, -delta);
+        }
+        if (signal > best_signal) {
+            best_signal = signal;
+            criticalApp_ = app;
+        }
+    }
+
+    // Critical level: the pre-inflection point (WS/HS) — the level
+    // just before the largest drop; or the best-balance level (FI).
+    const auto &vals = probeValues_[criticalApp_];
+    if (objective_ == EbObjective::FI) {
+        std::size_t best_idx = 0;
+        for (std::size_t i = 1; i < vals.size(); ++i) {
+            if (vals[i] > vals[best_idx])
+                best_idx = i;
+        }
+        criticalLevel_ = probeLadder_[best_idx];
+    } else {
+        // The knee is the last level before the objective starts
+        // falling — for a rise-then-fall curve that is the argmax
+        // along the axis, and for a monotone curve it is the top
+        // level (no inflection: this app never overwhelms resources).
+        std::size_t best_idx = 0;
+        for (std::size_t i = 1; i < vals.size(); ++i) {
+            if (vals[i] > vals[best_idx])
+                best_idx = i;
+        }
+        criticalLevel_ = probeLadder_[best_idx];
+    }
+
+    // The probe ladder is geometric, so the true knee may sit on a
+    // full-ladder level between two probe points (e.g. 12 between 8
+    // and 16): refine around the probed knee before tuning.
+    std::size_t probe_idx = 0;
+    for (std::size_t i = 0; i < probeLadder_.size(); ++i) {
+        if (probeLadder_[i] == criticalLevel_)
+            probe_idx = i;
+    }
+    beginRefine(probeValues_[criticalApp_][probe_idx]);
+}
+
+void
+PbsSearch::beginRefine(double probed_best_value)
+{
+    const std::uint32_t lo =
+        criticalLevel_ == probeLadder_.front()
+            ? levels_.front()
+            : *std::prev(std::find(probeLadder_.begin(),
+                                   probeLadder_.end(),
+                                   criticalLevel_));
+    const std::uint32_t hi =
+        criticalLevel_ == probeLadder_.back()
+            ? levels_.back()
+            : *std::next(std::find(probeLadder_.begin(),
+                                   probeLadder_.end(),
+                                   criticalLevel_));
+    refineLevels_.clear();
+    for (std::uint32_t level : levels_) {
+        const bool inside = level > lo && level < hi &&
+                            level != criticalLevel_;
+        const bool probed =
+            std::find(probeLadder_.begin(), probeLadder_.end(),
+                      level) != probeLadder_.end();
+        if (inside && !probed)
+            refineLevels_.push_back(level);
+    }
+    refinePos_ = 0;
+    refineBestValue_ = probed_best_value;
+    if (refineLevels_.empty()) {
+        beginTune();
+        return;
+    }
+    stage_ = Stage::Refine;
+}
+
+void
+PbsSearch::beginTune()
+{
+    // Tune order: remaining apps (for two-app workloads: the one
+    // non-critical app).
+    tuneOrder_.clear();
+    for (AppId app = 0; app < numApps_; ++app) {
+        if (app != criticalApp_)
+            tuneOrder_.push_back(app);
+    }
+    tuneAppIdx_ = 0;
+    tuneLevelIdx_ = 0;
+    tuneBestValue_ = -1.0;
+    tuneMisses_ = 0;
+
+    current_.assign(numApps_, pinLevel(levels_));
+    current_[criticalApp_] = criticalLevel_;
+    current_[tuneOrder_[0]] = levels_[0];
+    best_ = current_;
+    stage_ = Stage::Tune;
+}
+
+void
+PbsSearch::stepTune(double value)
+{
+    const AppId app = tuneOrder_[tuneAppIdx_];
+    const bool improved = value > tuneBestValue_;
+    if (improved) {
+        tuneBestValue_ = value;
+        best_ = current_;
+        tuneMisses_ = 0;
+    } else {
+        ++tuneMisses_;
+    }
+
+    // Guideline 2: walking past the inflection only hurts, so stop
+    // once the curve has clearly turned down; a one-step grace period
+    // tolerates sampling noise and local dips. Balance objectives
+    // (FI) are not single-peaked along the tune axis, so they sweep
+    // the whole ladder and keep the argmax.
+    ++tuneLevelIdx_;
+    const bool exhausted = tuneLevelIdx_ >= levels_.size();
+    const bool turned_down =
+        objective_ != EbObjective::FI && tuneMisses_ >= 2;
+    if (exhausted || turned_down) {
+        // This app is settled at its best level; move to the next
+        // non-critical app (multi-app extension), or finish.
+        current_ = best_;
+        ++tuneAppIdx_;
+        if (tuneAppIdx_ >= tuneOrder_.size()) {
+            stage_ = Stage::Done;
+            return;
+        }
+        tuneLevelIdx_ = 0;
+        tuneBestValue_ = -1.0;
+        tuneMisses_ = 0;
+        current_[tuneOrder_[tuneAppIdx_]] = levels_[0];
+        return;
+    }
+    current_[app] = levels_[tuneLevelIdx_];
+}
+
+const TlpCombo &
+PbsSearch::best() const
+{
+    if (stage_ != Stage::Done)
+        panic("PbsSearch: best() before the search converged");
+    return best_;
+}
+
+} // namespace ebm

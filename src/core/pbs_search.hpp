@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Pattern-based searching (PBS) — the paper's Section V.
+ *
+ * PBS finds a near-optimal TLP combination in a handful of samples
+ * instead of an exhaustive sweep, exploiting the observed *patterns*:
+ * when shared resources are sufficiently utilized, the inflection
+ * point of an EB-based metric sits at a fixed TLP level of the
+ * *critical* application, independent of the co-runners' TLP.
+ *
+ * The search proceeds in three stages:
+ *
+ *  1. Probe: for each application, sweep its TLP over a small probe
+ *     ladder (1, 2, 4, 8, ...) while pinning every other application
+ *     at TLP=4 (high enough that the machine is not under-utilized —
+ *     Guideline 1). For fairness/harmonic objectives with sampled
+ *     scaling, an extra set of near-alone probes (app at 4, others at
+ *     1) estimates each app's alone EB first.
+ *  2. Analyze: for WS/HS the application whose TLP axis causes the
+ *     largest drop in the objective is *critical* and is fixed at its
+ *     pre-drop knee (refined by at most two extra samples when the
+ *     knee falls between probe-ladder points). For FI the balance
+ *     optimum lies on a diagonal ridge, so the critical application
+ *     is instead the one whose axis reaches *closest to balance*,
+ *     fixed at that level.
+ *  3. Tune: walk the non-critical application's TLP up the full level
+ *     ladder, keeping the best objective; WS/HS stop once the curve
+ *     has clearly turned down (Guideline 2, with a one-step grace
+ *     period for noise), FI sweeps the whole ladder because balance
+ *     is not single-peaked along the axis.
+ *
+ * The class is a passive planner: callers (the online controller or
+ * the offline driver) ask for the next combination to sample and feed
+ * observations back, so the identical search logic is shared between
+ * PBS and PBS(Offline).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/eb_sample.hpp"
+
+namespace ebm {
+
+/** Which EB-based metric a PBS instance optimizes. */
+enum class EbObjective : std::uint8_t {
+    WS, ///< Maximize EB-WS (sum of EBs).
+    FI, ///< Maximize EB-FI (balance of scaled EBs).
+    HS, ///< Maximize EB-HS (scaled harmonic mean).
+};
+
+/** How per-app EB scaling factors are obtained (Section IV). */
+enum class ScalingMode : std::uint8_t {
+    None,         ///< Raw EBs (the paper's WS configuration).
+    UserGroup,    ///< Group-average alone EB supplied by the user.
+    SampledAlone, ///< Probe each app with co-runners at TLP=1.
+};
+
+/** Pattern-based search planner. */
+class PbsSearch
+{
+  public:
+    /**
+     * @param objective   EB metric to optimize
+     * @param num_apps    number of co-scheduled applications
+     * @param levels      full TLP level ladder (ascending)
+     * @param scaling     scaling-factor mode (FI/HS only)
+     * @param user_scale  per-app scale when scaling == UserGroup
+     */
+    PbsSearch(EbObjective objective, std::uint32_t num_apps,
+              std::vector<std::uint32_t> levels, ScalingMode scaling,
+              std::vector<double> user_scale = {});
+
+    /** The combination to sample next; nullopt once finished. */
+    std::optional<TlpCombo> nextCombo() const;
+
+    /** Feed the sample observed for the current nextCombo(). */
+    void observe(const EbSample &sample);
+
+    /** Has the search converged? */
+    bool done() const { return stage_ == Stage::Done; }
+
+    /** The chosen combination (valid once done()). */
+    const TlpCombo &best() const;
+
+    /** Samples consumed so far (overhead accounting). */
+    std::uint32_t samplesTaken() const { return samplesTaken_; }
+
+    /** The application identified as critical (valid once done()). */
+    AppId criticalApp() const { return criticalApp_; }
+
+    /** Resolved per-app scaling factors (1.0s when ScalingMode::None). */
+    const std::vector<double> &scaleFactors() const { return scale_; }
+
+    /** Probe ladder used in stage 1 (subset of the full levels). */
+    static std::vector<std::uint32_t>
+    probeLadder(const std::vector<std::uint32_t> &levels);
+
+  private:
+    enum class Stage : std::uint8_t {
+        ScaleProbe, ///< Near-alone probes (SampledAlone only).
+        Probe,      ///< Per-app axis sweeps.
+        Refine,     ///< Full-ladder levels around the probed knee.
+        Tune,       ///< Non-critical app walk.
+        Done,
+    };
+
+    /** Objective value of a sample under this search's metric. */
+    double objectiveOf(const EbSample &sample) const;
+
+    void buildScaleProbes();
+    void buildProbes();
+    void analyzeProbes();
+    void beginRefine(double probed_best_value);
+    void beginTune();
+    void stepTune(double value);
+
+    EbObjective objective_;
+    std::uint32_t numApps_;
+    std::vector<std::uint32_t> levels_;
+    ScalingMode scaling_;
+    std::vector<double> scale_;
+
+    Stage stage_;
+    std::vector<TlpCombo> plan_;       ///< Combos queued for sampling.
+    std::size_t planPos_ = 0;
+    std::uint32_t samplesTaken_ = 0;
+
+    /** Probe observations: [app][ladder index] -> objective value. */
+    std::vector<std::vector<double>> probeValues_;
+    /** Probe observations: per-app EB along its own axis. */
+    std::vector<std::vector<std::vector<double>>> probeEbs_;
+    std::vector<std::uint32_t> probeLadder_;
+
+    AppId criticalApp_ = kInvalidApp;
+    std::uint32_t criticalLevel_ = 0;
+    /** Refinement candidates and the best value seen so far. */
+    std::vector<std::uint32_t> refineLevels_;
+    std::size_t refinePos_ = 0;
+    double refineBestValue_ = 0.0;
+    /** Non-critical apps, tuned one at a time (multi-app support). */
+    std::vector<AppId> tuneOrder_;
+    std::size_t tuneAppIdx_ = 0;
+    std::size_t tuneLevelIdx_ = 0;
+    double tuneBestValue_ = 0.0;
+    std::uint32_t tuneMisses_ = 0; ///< Consecutive non-improvements.
+    TlpCombo current_;
+    TlpCombo best_;
+};
+
+} // namespace ebm

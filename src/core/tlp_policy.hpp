@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The runtime TLP-management interface.
+ *
+ * A policy interacts with the GPU exactly the way the paper's hardware
+ * does: at every sampling-window boundary it may read the monitor's
+ * sample and re-program the warp-limiting schedulers. The harness
+ * drives the windows; policies never see anything a real PBS block
+ * could not.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/eb_sample.hpp"
+#include "sim/gpu.hpp"
+
+namespace ebm {
+
+/** Base class of every runtime TLP-management scheme. */
+class TlpPolicy
+{
+  public:
+    virtual ~TlpPolicy() = default;
+
+    /** Called once before the first cycle. */
+    virtual void onRunStart(Gpu &gpu) = 0;
+
+    /**
+     * Called at the close of every sampling window with the monitor's
+     * sample for that window (already subject to the monitor's relay
+     * latency model — see the runner).
+     */
+    virtual void onWindow(Gpu &gpu, Cycle now, const EbSample &sample)
+    {
+        (void)gpu;
+        (void)now;
+        (void)sample;
+    }
+
+    /**
+     * Kernel-relaunch notification (the paper restarts PBS when any
+     * kernel is re-launched).
+     */
+    virtual void onKernelRelaunch(Gpu &gpu, Cycle now)
+    {
+        (void)gpu;
+        (void)now;
+    }
+
+    /** Human-readable scheme name for tables. */
+    virtual std::string name() const = 0;
+
+    /** Samples consumed by searching (0 for static schemes). */
+    virtual std::uint32_t samplesTaken() const { return 0; }
+};
+
+/** Fixed TLP combination applied at run start (bestTLP, maxTLP, opt*). */
+class StaticTlpPolicy : public TlpPolicy
+{
+  public:
+    StaticTlpPolicy(std::string name, TlpCombo combo)
+        : name_(std::move(name)), combo_(std::move(combo))
+    {
+    }
+
+    void
+    onRunStart(Gpu &gpu) override
+    {
+        for (AppId app = 0; app < gpu.numApps(); ++app)
+            gpu.setAppTlp(app, combo_[app]);
+    }
+
+    std::string name() const override { return name_; }
+
+    const TlpCombo &combo() const { return combo_; }
+
+  private:
+    std::string name_;
+    TlpCombo combo_;
+};
+
+} // namespace ebm

@@ -1,0 +1,58 @@
+#include "harness/disk_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+DiskCache::DiskCache(std::string path) : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        std::vector<double> values;
+        std::istringstream rest(line.substr(sep + 1));
+        double v;
+        while (rest >> v)
+            values.push_back(v);
+        entries_[key] = std::move(values);
+    }
+}
+
+std::optional<std::vector<double>>
+DiskCache::get(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+DiskCache::put(const std::string &key, const std::vector<double> &values)
+{
+    if (key.find('|') != std::string::npos ||
+        key.find('\n') != std::string::npos)
+        fatal("DiskCache: key contains a reserved character: " + key);
+    entries_[key] = values;
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+        warn("DiskCache: cannot persist to " + path_);
+        return;
+    }
+    out << key << '|';
+    out.precision(17);
+    for (double v : values)
+        out << ' ' << v;
+    out << '\n';
+}
+
+} // namespace ebm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A tiny on-disk result cache so the expensive 64-combination
+ * exhaustive sweeps are simulated once and shared by every bench
+ * binary. Values are flat double vectors; keys are caller-constructed
+ * strings that embed a configuration fingerprint.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ebm {
+
+/** Append-only key -> vector<double> store backed by a text file. */
+class DiskCache
+{
+  public:
+    /** Open (and load) the cache at @p path; missing file is fine. */
+    explicit DiskCache(std::string path);
+
+    /** Look up @p key. */
+    std::optional<std::vector<double>> get(const std::string &key) const;
+
+    /** Insert and persist @p key -> @p values. */
+    void put(const std::string &key, const std::vector<double> &values);
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::string path_;
+    std::unordered_map<std::string, std::vector<double>> entries_;
+};
+
+} // namespace ebm

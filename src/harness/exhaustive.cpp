@@ -1,0 +1,153 @@
+#include "harness/exhaustive.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "metrics/metrics.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace ebm {
+
+std::size_t
+ComboTable::indexOf(const TlpCombo &combo) const
+{
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        if (combos[i] == combo)
+            return i;
+    }
+    panic("ComboTable: combination not in table");
+}
+
+Exhaustive::Exhaustive(const Runner &runner, DiskCache &cache)
+    : runner_(runner), cache_(cache)
+{
+}
+
+ComboTable
+Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
+{
+    const std::vector<AppProfile> apps = resolveApps(wl);
+    const auto n = static_cast<std::uint32_t>(apps.size());
+    if (levels.empty())
+        levels = GpuConfig::tlpLevels();
+
+    ComboTable table;
+    table.levels = levels;
+
+    // Enumerate all |levels|^n combinations in odometer order.
+    std::vector<std::size_t> idx(n, 0);
+    while (true) {
+        TlpCombo combo(n);
+        for (std::uint32_t a = 0; a < n; ++a)
+            combo[a] = levels[idx[a]];
+
+        std::string key = "combo/" + runner_.fingerprint() + "/" +
+                          wl.name;
+        for (std::uint32_t t : combo)
+            key += "/" + std::to_string(t);
+
+        RunResult result;
+        if (const auto cached = cache_.get(key)) {
+            const auto &v = *cached;
+            if (v.size() != 4u * n + 1)
+                fatal("Exhaustive: corrupt cache entry " + key);
+            result.apps.resize(n);
+            for (std::uint32_t a = 0; a < n; ++a) {
+                result.apps[a].ipc = v[4 * a + 0];
+                result.apps[a].bw = v[4 * a + 1];
+                result.apps[a].l1Mr = v[4 * a + 2];
+                result.apps[a].l2Mr = v[4 * a + 3];
+                result.totalBw += result.apps[a].bw;
+            }
+            result.measuredCycles = static_cast<Cycle>(v.back());
+            result.finalTlp = combo;
+        } else {
+            result = runner_.runStatic(apps, combo);
+            std::vector<double> v;
+            for (std::uint32_t a = 0; a < n; ++a) {
+                v.push_back(result.apps[a].ipc);
+                v.push_back(result.apps[a].bw);
+                v.push_back(result.apps[a].l1Mr);
+                v.push_back(result.apps[a].l2Mr);
+            }
+            v.push_back(static_cast<double>(result.measuredCycles));
+            cache_.put(key, v);
+        }
+        table.combos.push_back(combo);
+        table.results.push_back(std::move(result));
+
+        // Odometer increment.
+        std::uint32_t pos = 0;
+        while (pos < n) {
+            if (++idx[pos] < levels.size())
+                break;
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    return table;
+}
+
+double
+Exhaustive::value(const ComboTable &table, const TlpCombo &combo,
+                  OptTarget target, const std::vector<double> &alone_ipcs,
+                  const std::vector<double> &eb_scale)
+{
+    const RunResult &r = table.at(combo);
+    const std::size_t n = r.apps.size();
+
+    std::vector<double> sds;
+    if (target == OptTarget::SdWS || target == OptTarget::SdFI ||
+        target == OptTarget::SdHS) {
+        if (alone_ipcs.size() != n)
+            fatal("Exhaustive: SD target needs alone IPCs");
+        for (std::size_t a = 0; a < n; ++a)
+            sds.push_back(slowdown(r.apps[a].ipc, alone_ipcs[a]));
+    }
+
+    switch (target) {
+      case OptTarget::SdWS:
+        return weightedSpeedup(sds);
+      case OptTarget::SdFI:
+        return fairnessIndex(sds);
+      case OptTarget::SdHS:
+        return harmonicSpeedup(sds);
+      case OptTarget::EbWS:
+        return ebWeightedSpeedup(r.ebs());
+      case OptTarget::EbFI:
+        return ebFairnessIndex(r.ebs(), eb_scale);
+      case OptTarget::EbHS:
+        return ebHarmonicSpeedup(r.ebs(), eb_scale);
+      case OptTarget::SumIpc: {
+        double sum = 0.0;
+        for (const AppRunStats &a : r.apps)
+            sum += a.ipc;
+        return sum;
+      }
+    }
+    panic("Exhaustive: unknown target");
+}
+
+TlpCombo
+Exhaustive::argmax(const ComboTable &table, OptTarget target,
+                   const std::vector<double> &alone_ipcs,
+                   const std::vector<double> &eb_scale)
+{
+    if (table.combos.empty())
+        fatal("Exhaustive: empty table");
+    std::size_t best = 0;
+    double best_value = -1e300;
+    for (std::size_t i = 0; i < table.combos.size(); ++i) {
+        const double v = value(table, table.combos[i], target,
+                               alone_ipcs, eb_scale);
+        if (v > best_value) {
+            best_value = v;
+            best = i;
+        }
+    }
+    return table.combos[best];
+}
+
+} // namespace ebm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Exhaustive TLP-combination sweeps with disk-backed memoization.
+ *
+ * One sweep of all |levels|^n combinations yields, for a workload:
+ *   - the SD-optimal combinations optWS / optFI / optHS,
+ *   - the EB-optimal brute-force combinations BF-WS / BF-FI / BF-HS,
+ *   - the full EB table PBS(Offline) searches over,
+ *   - the iso-TLP curves of the pattern figures (Figs. 6 and 7).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/disk_cache.hpp"
+#include "harness/profile_db.hpp"
+#include "harness/runner.hpp"
+#include "workload/workload_suite.hpp"
+
+namespace ebm {
+
+/** All static-combination results for one workload. */
+struct ComboTable
+{
+    std::vector<std::uint32_t> levels;    ///< Ladder per app.
+    std::vector<TlpCombo> combos;         ///< Row order of results.
+    std::vector<RunResult> results;       ///< One per combo.
+
+    /** Index of @p combo in the table. */
+    std::size_t indexOf(const TlpCombo &combo) const;
+
+    /** Result for @p combo. */
+    const RunResult &at(const TlpCombo &combo) const
+    {
+        return results[indexOf(combo)];
+    }
+};
+
+/** Which metric an arg-max over a ComboTable uses. */
+enum class OptTarget : std::uint8_t {
+    SdWS,  ///< opt-WS  (needs alone IPCs).
+    SdFI,  ///< opt-FI.
+    SdHS,  ///< opt-HS.
+    EbWS,  ///< BF-WS.
+    EbFI,  ///< BF-FI (optionally scaled).
+    EbHS,  ///< BF-HS (optionally scaled).
+    SumIpc,///< Instruction-throughput argmax (Observation 2 ablation).
+};
+
+/** Exhaustive-search service. */
+class Exhaustive
+{
+  public:
+    Exhaustive(const Runner &runner, DiskCache &cache);
+
+    /**
+     * Simulate (or fetch) the full combination table for @p wl.
+     *
+     * @param levels TLP ladder per app; empty = the standard ladder
+     */
+    ComboTable sweep(const Workload &wl,
+                     std::vector<std::uint32_t> levels = {});
+
+    /**
+     * Arg-max combination of @p table under @p target.
+     *
+     * @param alone_ipcs  per-app alone IPC at bestTLP (SD targets)
+     * @param eb_scale    per-app EB scale factors (EB-FI / EB-HS);
+     *                    empty = unscaled
+     */
+    static TlpCombo
+    argmax(const ComboTable &table, OptTarget target,
+           const std::vector<double> &alone_ipcs = {},
+           const std::vector<double> &eb_scale = {});
+
+    /** The metric value of @p combo under @p target (same params). */
+    static double
+    value(const ComboTable &table, const TlpCombo &combo,
+          OptTarget target, const std::vector<double> &alone_ipcs = {},
+          const std::vector<double> &eb_scale = {});
+
+  private:
+    const Runner &runner_;
+    DiskCache &cache_;
+};
+
+} // namespace ebm

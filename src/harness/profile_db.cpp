@@ -1,0 +1,99 @@
+#include "harness/profile_db.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+ProfileDb::ProfileDb(const Runner &runner, DiskCache &cache)
+    : runner_(runner), cache_(cache)
+{
+}
+
+const AppAloneProfile &
+ProfileDb::profile(const AppProfile &app)
+{
+    auto it = profiles_.find(app.name);
+    if (it != profiles_.end())
+        return it->second;
+
+    AppAloneProfile prof;
+    prof.name = app.name;
+    prof.levels = GpuConfig::tlpLevels();
+    prof.perLevel.reserve(prof.levels.size());
+
+    for (std::uint32_t level : prof.levels) {
+        const std::string key = "alone/" + runner_.fingerprint() + "/" +
+                                app.name + "/" + std::to_string(level);
+        AppRunStats stats;
+        if (const auto cached = cache_.get(key)) {
+            const auto &v = *cached;
+            if (v.size() != 4)
+                fatal("ProfileDb: corrupt cache entry " + key);
+            stats.ipc = v[0];
+            stats.bw = v[1];
+            stats.l1Mr = v[2];
+            stats.l2Mr = v[3];
+        } else {
+            const RunResult r = runner_.runAlone(app, level);
+            stats = r.apps.at(0);
+            cache_.put(key, {stats.ipc, stats.bw, stats.l1Mr,
+                             stats.l2Mr});
+        }
+        prof.perLevel.push_back(stats);
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < prof.perLevel.size(); ++i) {
+        if (prof.perLevel[i].ipc > prof.perLevel[best].ipc)
+            best = i;
+    }
+    prof.bestTlp = prof.levels[best];
+    prof.ipcAtBest = prof.perLevel[best].ipc;
+    prof.ebAtBest = prof.perLevel[best].eb();
+
+    auto [ins, ok] = profiles_.emplace(app.name, std::move(prof));
+    (void)ok;
+    return ins->second;
+}
+
+std::vector<double>
+ProfileDb::assignGroups(const std::vector<AppProfile> &apps)
+{
+    // Quartile split by alone EB at bestTLP (the paper's Table IV
+    // groups applications G1..G4 by their individual EB values).
+    std::vector<std::pair<double, std::string>> ebs;
+    for (const AppProfile &app : apps)
+        ebs.emplace_back(profile(app).ebAtBest, app.name);
+    std::sort(ebs.begin(), ebs.end());
+
+    groupMeans_.assign(5, 0.0);
+    std::vector<std::uint32_t> counts(5, 0);
+    const std::size_t n = ebs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto group =
+            static_cast<std::uint32_t>(1 + (i * 4) / std::max<std::size_t>(n, 1));
+        const std::uint32_t g = std::min(group, 4u);
+        profiles_[ebs[i].second].group = g;
+        groupMeans_[g] += ebs[i].first;
+        ++counts[g];
+    }
+    for (std::uint32_t g = 1; g <= 4; ++g) {
+        if (counts[g] > 0)
+            groupMeans_[g] /= counts[g];
+    }
+    return groupMeans_;
+}
+
+double
+ProfileDb::groupScale(const std::string &app_name) const
+{
+    const auto it = profiles_.find(app_name);
+    if (it == profiles_.end() || it->second.group == 0)
+        fatal("ProfileDb: groupScale before assignGroups for " +
+              app_name);
+    return groupMeans_[it->second.group];
+}
+
+} // namespace ebm

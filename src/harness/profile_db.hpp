@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Alone-run profiling: for each application, sweep the TLP ladder
+ * while it runs alone on its core share, find bestTLP (highest IPC),
+ * and record IPC/EB at every level. This supplies:
+ *   - the ++bestTLP baseline and the SD denominators (IPC-Alone),
+ *   - Table IV (IPC@bestTLP, EB@bestTLP, G1-G4 grouping),
+ *   - Fig. 2 (per-level IPC/BW/CMR/EB curves),
+ *   - scaling factors for the fairness-oriented schemes.
+ * Results are cached on disk keyed by the solo-runner fingerprint.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/disk_cache.hpp"
+#include "harness/runner.hpp"
+#include "metrics/metrics.hpp"
+#include "workload/app_profile.hpp"
+
+namespace ebm {
+
+/** Alone-run characterization of one application. */
+struct AppAloneProfile
+{
+    std::string name;
+    std::vector<std::uint32_t> levels; ///< TLP ladder swept.
+    std::vector<AppRunStats> perLevel; ///< Stats at each level.
+    std::uint32_t bestTlp = 0;         ///< argmax IPC level.
+    double ipcAtBest = 0.0;
+    double ebAtBest = 0.0;
+    std::uint32_t group = 0;           ///< 1..4 by EB quartile.
+};
+
+/** Profiling service with disk-backed memoization. */
+class ProfileDb
+{
+  public:
+    /**
+     * @param runner shared-run runner (solo geometry derived from it)
+     * @param cache  disk cache for memoization
+     */
+    ProfileDb(const Runner &runner, DiskCache &cache);
+
+    /** Profile (or fetch) one application. */
+    const AppAloneProfile &profile(const AppProfile &app);
+
+    /**
+     * Assign G1..G4 groups to @p apps by alone-EB quartile and return
+     * the group-average alone EB per group (index 0 unused).
+     */
+    std::vector<double>
+    assignGroups(const std::vector<AppProfile> &apps);
+
+    /** Group-average alone EB for @p app (assignGroups first). */
+    double groupScale(const std::string &app_name) const;
+
+  private:
+    const Runner &runner_;
+    DiskCache &cache_;
+    std::map<std::string, AppAloneProfile> profiles_;
+    std::vector<double> groupMeans_; ///< [1..4].
+};
+
+} // namespace ebm

@@ -1,0 +1,108 @@
+#include "harness/report.hpp"
+
+#include <sstream>
+
+#include "harness/table.hpp"
+#include "metrics/metrics.hpp"
+
+namespace ebm {
+
+std::string
+MachineReport::appSummary() const
+{
+    TextTable out({"App", "Cores", "TLP", "IPC", "BW", "L1MR", "L2MR",
+                   "CMR", "EB"});
+    for (AppId app = 0; app < gpu_.numApps(); ++app) {
+        AppRunStats s;
+        s.ipc = gpu_.appIpc(app);
+        s.bw = gpu_.appAttainedBw(app);
+        s.l1Mr = gpu_.appL1MissRate(app);
+        s.l2Mr = gpu_.appL2MissRate(app);
+        out.addRow({"app" + std::to_string(app),
+                    std::to_string(gpu_.coresOf(app).size()),
+                    std::to_string(gpu_.appTlp(app)),
+                    TextTable::num(s.ipc), TextTable::num(s.bw),
+                    TextTable::num(s.l1Mr), TextTable::num(s.l2Mr),
+                    TextTable::num(s.cmr()), TextTable::num(s.eb())});
+    }
+    return "Per-application summary (cycle " +
+           std::to_string(gpu_.now()) + ")\n" + out.render();
+}
+
+std::string
+MachineReport::coreBreakdown() const
+{
+    TextTable out({"Core", "App", "Instrs", "IPC", "idle%", "memWait%",
+                   "stall%", "lostLoc"});
+    const double cycles =
+        std::max<double>(1.0, static_cast<double>(gpu_.now()));
+    for (CoreId id = 0; id < gpu_.numCores(); ++id) {
+        const SimtCore &core = gpu_.core(id);
+        auto pct = [&](std::uint64_t v) {
+            return TextTable::num(100.0 * static_cast<double>(v) /
+                                      cycles,
+                                  1);
+        };
+        out.addRow({std::to_string(id),
+                    std::to_string(core.app()),
+                    std::to_string(core.instrsRetired()),
+                    TextTable::num(
+                        static_cast<double>(core.instrsRetired()) /
+                        cycles),
+                    pct(core.idleCycles()), pct(core.memWaitCycles()),
+                    pct(core.stallCycles()),
+                    std::to_string(core.lostLocality())});
+    }
+    return "Per-core breakdown\n" + out.render();
+}
+
+std::string
+MachineReport::memoryBreakdown() const
+{
+    TextTable out({"Partition", "L2 acc", "L2 miss%", "DRAM reqs",
+                   "row hit%", "bus util%"});
+    for (PartitionId p = 0; p < gpu_.numPartitions(); ++p) {
+        const MemoryPartition &part = gpu_.partition(p);
+        std::uint64_t l2a = 0, l2m = 0;
+        for (AppId app = 0; app < gpu_.numApps(); ++app) {
+            l2a += part.l2().stats().accesses(app);
+            l2m += part.l2().stats().misses(app);
+        }
+        const DramChannel &dram = part.dram();
+        const std::uint64_t serviced = dram.requestsServiced();
+        const std::uint64_t hits = dram.rowHits();
+        std::uint64_t data = 0;
+        for (AppId app = 0; app < gpu_.numApps(); ++app)
+            data += dram.dataCycles(app);
+        const double dram_cycles = std::max<double>(
+            1.0, static_cast<double>(part.dramCyclesElapsed()));
+        out.addRow(
+            {std::to_string(p), std::to_string(l2a),
+             TextTable::num(l2a == 0 ? 0.0
+                                     : 100.0 * static_cast<double>(l2m) /
+                                           static_cast<double>(l2a),
+                            1),
+             std::to_string(serviced),
+             TextTable::num(serviced == 0
+                                ? 0.0
+                                : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(serviced),
+                            1),
+             TextTable::num(100.0 * static_cast<double>(data) /
+                                dram_cycles,
+                            1)});
+    }
+    return "Per-partition memory behaviour\n" + out.render();
+}
+
+std::string
+MachineReport::full() const
+{
+    std::ostringstream out;
+    out << appSummary() << '\n'
+        << coreBreakdown() << '\n'
+        << memoryBreakdown();
+    return out.str();
+}
+
+} // namespace ebm

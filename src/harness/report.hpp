@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine-state inspection report: a formatted deep-dive into one
+ * simulated GPU — per-application performance and EB metrics, per-core
+ * issue/stall breakdowns, per-partition L2 and DRAM behaviour (row
+ * hit rates, utilization). Useful for debugging workload models and
+ * for understanding *why* a TLP combination behaves as it does.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/gpu.hpp"
+
+namespace ebm {
+
+/** Renders human-readable inspection reports for a Gpu. */
+class MachineReport
+{
+  public:
+    explicit MachineReport(const Gpu &gpu) : gpu_(gpu) {}
+
+    /** Per-application summary (IPC, BW, miss rates, EB). */
+    std::string appSummary() const;
+
+    /** Per-core issue/idle/stall breakdown. */
+    std::string coreBreakdown() const;
+
+    /** Per-partition L2 and DRAM behaviour. */
+    std::string memoryBreakdown() const;
+
+    /** All sections concatenated. */
+    std::string full() const;
+
+  private:
+    const Gpu &gpu_;
+};
+
+} // namespace ebm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The outcome of one measured simulation run, and the options that
+ * shape a run. Every experiment in bench/ consumes these.
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "metrics/metrics.hpp"
+
+namespace ebm {
+
+/** Timing knobs of one measured run. */
+struct RunOptions
+{
+    Cycle warmupCycles = 5000;   ///< Caches warm, not measured.
+    Cycle measureCycles = 30000; ///< Measurement span.
+    Cycle windowCycles = 1500;   ///< Sampling window (policies).
+    /** Synthetic kernel-relaunch period (0 = never). */
+    Cycle relaunchInterval = 0;
+};
+
+/** Per-application and whole-run measurements. */
+struct RunResult
+{
+    std::vector<AppRunStats> apps; ///< ipc/bw/l1Mr/l2Mr per app.
+    double totalBw = 0.0;          ///< Sum of per-app attained BW.
+    Cycle measuredCycles = 0;
+    TlpCombo finalTlp;             ///< Combination in force at the end.
+    std::uint32_t samplesTaken = 0;///< Search overhead (policies).
+    /** TLP changes over time (online policies; paper Fig. 11). */
+    std::vector<std::pair<Cycle, TlpCombo>> tlpTimeline;
+
+    /** Per-app effective bandwidths. */
+    std::vector<double>
+    ebs() const
+    {
+        std::vector<double> v;
+        v.reserve(apps.size());
+        for (const AppRunStats &a : apps)
+            v.push_back(a.eb());
+        return v;
+    }
+
+    /** Per-app IPCs. */
+    std::vector<double>
+    ipcs() const
+    {
+        std::vector<double> v;
+        v.reserve(apps.size());
+        for (const AppRunStats &a : apps)
+            v.push_back(a.ipc);
+        return v;
+    }
+};
+
+} // namespace ebm

@@ -1,0 +1,196 @@
+#include "harness/runner.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "sim/gpu.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** Absolute counter totals at a point in time, per app. */
+struct Snapshot
+{
+    std::vector<std::uint64_t> instrs;
+    std::vector<std::uint64_t> dataCycles;
+    std::vector<std::uint64_t> l1Acc, l1Miss, l2Acc, l2Miss;
+    Cycle coreCycles = 0;
+    Cycle dramCycles = 0;
+};
+
+Snapshot
+takeSnapshot(const Gpu &gpu)
+{
+    const std::uint32_t n = gpu.numApps();
+    Snapshot s;
+    s.instrs.resize(n);
+    s.dataCycles.resize(n);
+    s.l1Acc.resize(n);
+    s.l1Miss.resize(n);
+    s.l2Acc.resize(n);
+    s.l2Miss.resize(n);
+    s.coreCycles = gpu.now();
+    s.dramCycles = gpu.partition(0).dramCyclesElapsed();
+    for (AppId app = 0; app < n; ++app) {
+        s.instrs[app] = gpu.appInstrs(app);
+        s.dataCycles[app] = gpu.appDataCycles(app);
+        for (CoreId id : gpu.coresOf(app)) {
+            const CacheStats &cs = gpu.core(id).l1().stats();
+            s.l1Acc[app] += cs.accesses(app);
+            s.l1Miss[app] += cs.misses(app);
+        }
+        for (PartitionId p = 0; p < gpu.numPartitions(); ++p) {
+            const CacheStats &cs = gpu.partition(p).l2().stats();
+            s.l2Acc[app] += cs.accesses(app);
+            s.l2Miss[app] += cs.misses(app);
+        }
+    }
+    return s;
+}
+
+RunResult
+diffSnapshots(const Gpu &gpu, const Snapshot &a, const Snapshot &b)
+{
+    const std::uint32_t n = gpu.numApps();
+    RunResult r;
+    r.apps.resize(n);
+    r.measuredCycles = b.coreCycles - a.coreCycles;
+    const double core_cycles = static_cast<double>(r.measuredCycles);
+    const double dram_cycles =
+        static_cast<double>(b.dramCycles - a.dramCycles);
+    const double peak_data =
+        dram_cycles * static_cast<double>(gpu.numPartitions());
+
+    for (AppId app = 0; app < n; ++app) {
+        AppRunStats &out = r.apps[app];
+        out.ipc = core_cycles == 0.0
+                      ? 0.0
+                      : static_cast<double>(b.instrs[app] -
+                                            a.instrs[app]) /
+                            core_cycles;
+        out.bw = peak_data == 0.0
+                     ? 0.0
+                     : static_cast<double>(b.dataCycles[app] -
+                                           a.dataCycles[app]) /
+                           peak_data;
+        const auto l1a = b.l1Acc[app] - a.l1Acc[app];
+        const auto l1m = b.l1Miss[app] - a.l1Miss[app];
+        const auto l2a = b.l2Acc[app] - a.l2Acc[app];
+        const auto l2m = b.l2Miss[app] - a.l2Miss[app];
+        out.l1Mr = l1a == 0 ? 1.0
+                            : static_cast<double>(l1m) /
+                                  static_cast<double>(l1a);
+        out.l2Mr = l2a == 0 ? 1.0
+                            : static_cast<double>(l2m) /
+                                  static_cast<double>(l2a);
+        r.totalBw += out.bw;
+    }
+    for (AppId app = 0; app < n; ++app)
+        r.finalTlp.push_back(gpu.appTlp(app));
+    return r;
+}
+
+} // namespace
+
+Runner::Runner(GpuConfig cfg, RunOptions opts)
+    : cfg_(std::move(cfg)), opts_(opts)
+{
+    if (opts_.windowCycles == 0)
+        fatal("Runner: windowCycles must be > 0");
+}
+
+RunResult
+Runner::run(const std::vector<AppProfile> &apps, TlpPolicy &policy,
+            std::vector<std::uint32_t> core_share) const
+{
+    GpuConfig cfg = cfg_;
+    cfg.numApps = static_cast<std::uint32_t>(apps.size());
+    Gpu gpu(cfg, apps, std::move(core_share));
+
+    EbMonitor monitor(gpu, EbMonitor::Mode::DesignatedUnits);
+    policy.onRunStart(gpu);
+    gpu.checkpoint();
+
+    const Cycle total = opts_.warmupCycles + opts_.measureCycles;
+    Snapshot start{};
+    bool measuring = false;
+    Cycle next_relaunch = opts_.relaunchInterval == 0
+                              ? kNeverCycle
+                              : opts_.relaunchInterval;
+
+    Cycle elapsed = 0;
+    while (elapsed < total) {
+        const Cycle chunk =
+            std::min<Cycle>(opts_.windowCycles, total - elapsed);
+        gpu.run(chunk);
+        elapsed += chunk;
+
+        // Close the sampling window and let the policy act (the
+        // policy may also read window counters, so the checkpoint
+        // happens after it runs). The sample reflects the window just
+        // finished, so decisions are always one window behind reality
+        // — the monitor's relay latency (~100 cycles) is folded into
+        // this delay.
+        const EbSample sample = monitor.closeWindow(gpu.now());
+        policy.onWindow(gpu, gpu.now(), sample);
+        gpu.checkpoint();
+
+        if (!measuring && elapsed >= opts_.warmupCycles) {
+            start = takeSnapshot(gpu);
+            measuring = true;
+        }
+        if (elapsed >= next_relaunch) {
+            policy.onKernelRelaunch(gpu, gpu.now());
+            next_relaunch += opts_.relaunchInterval;
+        }
+    }
+
+    const Snapshot end = takeSnapshot(gpu);
+    RunResult result = diffSnapshots(gpu, start, end);
+    result.samplesTaken = policy.samplesTaken();
+    return result;
+}
+
+RunResult
+Runner::runStatic(const std::vector<AppProfile> &apps,
+                  const TlpCombo &combo,
+                  std::vector<std::uint32_t> core_share) const
+{
+    StaticTlpPolicy policy("static", combo);
+    return run(apps, policy, std::move(core_share));
+}
+
+RunResult
+Runner::runAlone(const AppProfile &app, std::uint32_t tlp) const
+{
+    Runner solo(cfg_, opts_);
+    // The paper's alone runs use the same per-app core count as the
+    // shared runs ("runs alone on the same set of cores").
+    solo.cfg_.numCores = cfg_.numCores / std::max(1u, cfg_.numApps);
+    solo.cfg_.numApps = 1;
+    return solo.runStatic({app}, {tlp});
+}
+
+std::string
+Runner::fingerprint() const
+{
+    std::uint64_t h = hashIds(cfg_.numCores, cfg_.numPartitions,
+                              cfg_.maxWarpsPerCore, cfg_.l1.sizeBytes);
+    h = hashIds(h, cfg_.l2Slice.sizeBytes, cfg_.banksPerChannel,
+                cfg_.frfcfsQueueDepth);
+    h = hashIds(h, cfg_.dram.burstCycles, cfg_.dram.tRRD,
+                cfg_.frfcfsCapCycles);
+    h = hashIds(h, cfg_.rowBytes, cfg_.interleaveBytes,
+                cfg_.l1.mshrEntries);
+    h = hashIds(h, opts_.warmupCycles, opts_.measureCycles,
+                opts_.windowCycles);
+    h = hashIds(h, cfg_.numApps, opts_.relaunchInterval,
+                /*catalog version*/ 5);
+    std::ostringstream out;
+    out << std::hex << h;
+    return out.str();
+}
+
+} // namespace ebm

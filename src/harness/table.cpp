@@ -1,0 +1,72 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: at least one column required");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        fatal("TextTable: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream out;
+    out.precision(precision);
+    out << std::fixed << value;
+    return out.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c];
+            out << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+
+    std::ostringstream out;
+    emit_row(headers_, out);
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        out << std::string(widths[c] + 2, '-') << '|';
+    out << '\n';
+    for (const auto &row : rows_)
+        emit_row(row, out);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace ebm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer for bench output. Every
+ * bench binary prints the rows/series of its paper figure through
+ * this, so the output format stays uniform.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ebm {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param headers column titles */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render to a string (with separator rules). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ebm

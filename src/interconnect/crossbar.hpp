@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The on-chip crossbar connecting SIMT cores to memory partitions.
+ *
+ * Two independent networks are modeled (request: cores -> partitions,
+ * response: partitions -> cores), each as a crossbar with per-input
+ * virtual output queues and an iSLIP-like round-robin separable
+ * allocator: every cycle, each output grants one of its requesting
+ * inputs in round-robin order, and each input accepts one grant in
+ * round-robin order. Accepted flits incur a fixed traversal latency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/mem_request.hpp"
+
+namespace ebm {
+
+/**
+ * One direction of the crossbar, carrying payloads of type T from
+ * numInputs ports to numOutputs ports.
+ */
+template <typename T>
+class CrossbarNetwork
+{
+  public:
+    CrossbarNetwork(std::uint32_t num_inputs, std::uint32_t num_outputs,
+                    std::uint32_t queue_depth, std::uint32_t latency)
+        : latency_(latency),
+          grantPointer_(num_outputs, 0),
+          outputReady_(num_outputs)
+    {
+        voqs_.reserve(num_inputs);
+        for (std::uint32_t i = 0; i < num_inputs; ++i) {
+            std::vector<BoundedQueue<T>> row;
+            row.reserve(num_outputs);
+            for (std::uint32_t o = 0; o < num_outputs; ++o)
+                row.emplace_back(queue_depth);
+            voqs_.push_back(std::move(row));
+        }
+    }
+
+    /** Can input @p in enqueue a flit for output @p out? */
+    bool
+    canAccept(std::uint32_t in, std::uint32_t out) const
+    {
+        return !voqs_[in][out].full();
+    }
+
+    /** Enqueue a flit (caller must have checked canAccept). */
+    void
+    inject(std::uint32_t in, std::uint32_t out, T flit)
+    {
+        voqs_[in][out].push(std::move(flit));
+    }
+
+    /**
+     * Run one allocation cycle at time @p now. Each output grants at
+     * most one input (round-robin from its pointer); granted flits
+     * become visible at the output after the traversal latency.
+     */
+    void
+    tick(Cycle now)
+    {
+        const auto n_in = static_cast<std::uint32_t>(voqs_.size());
+        const auto n_out =
+            static_cast<std::uint32_t>(grantPointer_.size());
+        for (std::uint32_t out = 0; out < n_out; ++out) {
+            for (std::uint32_t k = 0; k < n_in; ++k) {
+                const std::uint32_t in = (grantPointer_[out] + k) % n_in;
+                if (!voqs_[in][out].empty()) {
+                    outputReady_[out].push(
+                        InFlight{now + latency_, voqs_[in][out].pop()});
+                    grantPointer_[out] = (in + 1) % n_in;
+                    break;
+                }
+            }
+        }
+    }
+
+    /** Pop a flit that has arrived at output @p out by time @p now. */
+    bool
+    tryEject(std::uint32_t out, Cycle now, T &flit)
+    {
+        auto &q = outputReady_[out];
+        if (q.empty() || q.front().readyAt > now)
+            return false;
+        flit = std::move(q.front().payload);
+        q.pop();
+        return true;
+    }
+
+    /** Total flits buffered anywhere in this network. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &row : voqs_)
+            for (const auto &q : row)
+                n += q.size();
+        for (const auto &q : outputReady_)
+            n += q.size();
+        return n;
+    }
+
+    void
+    clear()
+    {
+        for (auto &row : voqs_)
+            for (auto &q : row)
+                q.clear();
+        for (auto &q : outputReady_) {
+            while (!q.empty())
+                q.pop();
+        }
+        std::fill(grantPointer_.begin(), grantPointer_.end(), 0u);
+    }
+
+  private:
+    struct InFlight
+    {
+        Cycle readyAt;
+        T payload;
+    };
+
+    std::uint32_t latency_;
+    std::vector<std::vector<BoundedQueue<T>>> voqs_;
+    std::vector<std::uint32_t> grantPointer_;
+    std::vector<std::queue<InFlight>> outputReady_;
+};
+
+/** The full core <-> memory-partition interconnect. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const GpuConfig &cfg)
+        : request_(cfg.numCores, cfg.numPartitions,
+                   cfg.icntInputQueueDepth, cfg.icntRequestLatency),
+          response_(cfg.numPartitions, cfg.numCores,
+                    cfg.icntOutputQueueDepth, cfg.icntResponseLatency)
+    {
+    }
+
+    CrossbarNetwork<MemRequest> &requestNet() { return request_; }
+    CrossbarNetwork<MemResponse> &responseNet() { return response_; }
+
+    void
+    tick(Cycle now)
+    {
+        request_.tick(now);
+        response_.tick(now);
+    }
+
+    void
+    clear()
+    {
+        request_.clear();
+        response_.clear();
+    }
+
+  private:
+    CrossbarNetwork<MemRequest> request_;
+    CrossbarNetwork<MemResponse> response_;
+};
+
+} // namespace ebm

@@ -1,0 +1,46 @@
+#include "mem/address_map.hpp"
+
+#include "common/rng.hpp"
+
+namespace ebm {
+
+AddressMap::AddressMap(const GpuConfig &cfg)
+    : lineBytes_(cfg.l2Slice.lineBytes),
+      interleaveBytes_(cfg.interleaveBytes),
+      numPartitions_(cfg.numPartitions),
+      banks_(cfg.banksPerChannel),
+      rowBytes_(cfg.rowBytes)
+{
+}
+
+PartitionId
+AddressMap::partitionOf(Addr addr) const
+{
+    const Addr chunk = addr / interleaveBytes_;
+    return static_cast<PartitionId>(chunk % numPartitions_);
+}
+
+DramCoord
+AddressMap::decode(Addr line_addr) const
+{
+    DramCoord coord;
+    coord.partition = partitionOf(line_addr);
+
+    // Address within the partition-local space: strip the channel
+    // interleaving so consecutive chunks on a channel are contiguous.
+    const Addr chunk = line_addr / interleaveBytes_;
+    const Addr local =
+        (chunk / numPartitions_) * interleaveBytes_ +
+        (line_addr % interleaveBytes_);
+
+    const Addr row_linear = local / rowBytes_;
+    // XOR-fold high row bits into the bank index so row-sequential
+    // streams rotate across banks and bank groups.
+    const std::uint64_t hashed = row_linear ^ (row_linear / banks_);
+    coord.bank = static_cast<std::uint32_t>(hashed % banks_);
+    coord.row = row_linear / banks_;
+    coord.col = static_cast<std::uint32_t>((local % rowBytes_) / lineBytes_);
+    return coord;
+}
+
+} // namespace ebm

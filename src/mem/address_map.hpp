@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Global linear address space decomposition.
+ *
+ * The global address space is interleaved among memory partitions in
+ * fixed-size chunks (256 B in the paper's Table I). Within a channel,
+ * banks are interleaved at row granularity with a bank-group-aware
+ * XOR hash so streaming accesses spread over bank groups.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** Decoded location of a line within the DRAM system. */
+struct DramCoord
+{
+    PartitionId partition = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t col = 0; ///< Column (line index within the row).
+};
+
+/** Address decomposition helper bound to one GpuConfig. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const GpuConfig &cfg);
+
+    /** Align an arbitrary byte address down to its cache line. */
+    Addr lineAlign(Addr addr) const { return addr & ~Addr{lineBytes_ - 1}; }
+
+    /** Memory partition (channel / L2 slice) owning @p addr. */
+    PartitionId partitionOf(Addr addr) const;
+
+    /** Full DRAM coordinates of a line address. */
+    DramCoord decode(Addr line_addr) const;
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint32_t numPartitions() const { return numPartitions_; }
+
+  private:
+    std::uint32_t lineBytes_;
+    std::uint32_t interleaveBytes_;
+    std::uint32_t numPartitions_;
+    std::uint32_t banks_;
+    std::uint32_t rowBytes_;
+};
+
+} // namespace ebm

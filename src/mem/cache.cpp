@@ -1,0 +1,71 @@
+#include "mem/cache.hpp"
+
+namespace ebm {
+
+Cache::Cache(const CacheGeometry &geom, std::uint32_t num_apps)
+    : tags_(geom),
+      mshrs_(geom.mshrEntries, geom.mshrTargetsPerEntry),
+      stats_(num_apps)
+{
+}
+
+CacheOutcome
+Cache::access(const MemRequest &req, bool bypass)
+{
+    if (bypass) {
+        // Bypassed requests never hit and never allocate; they still
+        // need an MSHR entry so the response finds its way back.
+        const MshrOutcome m = mshrs_.registerMiss(req);
+        if (m == MshrOutcome::Stall)
+            return CacheOutcome::Stall;
+        stats_.recordAccess(req.app, true);
+        return m == MshrOutcome::NewEntry ? CacheOutcome::MissNew
+                                          : CacheOutcome::MissMerged;
+    }
+
+    // A hit on an in-flight line is really a secondary miss: the data
+    // has not arrived yet, so the requester must wait on the MSHR.
+    if (mshrs_.inFlight(req.lineAddr)) {
+        const MshrOutcome m = mshrs_.registerMiss(req);
+        if (m == MshrOutcome::Stall)
+            return CacheOutcome::Stall;
+        stats_.recordAccess(req.app, true);
+        return CacheOutcome::MissMerged;
+    }
+
+    if (tags_.probe(req.lineAddr)) {
+        tags_.access(req.lineAddr, req.app, false); // Refresh LRU.
+        stats_.recordAccess(req.app, false);
+        return CacheOutcome::Hit;
+    }
+
+    const MshrOutcome m = mshrs_.registerMiss(req);
+    if (m == MshrOutcome::Stall)
+        return CacheOutcome::Stall;
+    stats_.recordAccess(req.app, true);
+    return CacheOutcome::MissNew;
+}
+
+Cache::FillResult
+Cache::fill(Addr line_addr, AppId app, bool bypass)
+{
+    FillResult result;
+    if (!bypass) {
+        const TagLookup lookup = tags_.access(line_addr, app, true);
+        result.evictedValid = lookup.evictedValid;
+        result.evictedLine = lookup.evictedLine;
+        result.evictedApp = lookup.evictedApp;
+    }
+    result.waiters = mshrs_.completeFill(line_addr);
+    return result;
+}
+
+void
+Cache::reset()
+{
+    tags_.flush();
+    mshrs_.clear();
+    stats_.reset();
+}
+
+} // namespace ebm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A non-blocking cache: set-associative tag array + MSHR file +
+ * per-application statistics. Used for both per-core L1 data caches
+ * and per-partition L2 slices; the owner decides what to do with the
+ * returned outcome (schedule a hit response, forward a miss, stall).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/cache_stats.hpp"
+#include "mem/mem_request.hpp"
+#include "mem/mshr.hpp"
+#include "mem/tag_array.hpp"
+
+namespace ebm {
+
+/** What happened when a request was presented to the cache. */
+enum class CacheOutcome : std::uint8_t {
+    Hit,          ///< Line present; respond after hit latency.
+    MissNew,      ///< Miss; a downstream request must be sent.
+    MissMerged,   ///< Miss merged into an in-flight MSHR entry.
+    Stall,        ///< MSHR structural hazard; retry next cycle.
+};
+
+/**
+ * One cache instance.
+ *
+ * Bypass support (Mod+Bypass baseline): a request flagged bypassL1 is
+ * treated as a miss that neither probes nor allocates, and is counted
+ * as an access+miss so the combined miss rate reflects the bypass.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheGeometry &geom, std::uint32_t num_apps);
+
+    /**
+     * Present @p req to the cache.
+     *
+     * @param req    the transaction
+     * @param bypass treat as a forced miss that never allocates
+     *               (Mod+Bypass); the caller decides which level's
+     *               bypass flag applies.
+     *
+     * Statistics are only updated for non-Stall outcomes (a stalled
+     * request is retried and must not be double counted).
+     */
+    CacheOutcome access(const MemRequest &req, bool bypass = false);
+
+    /** Outcome of a fill: woken requesters plus eviction info. */
+    struct FillResult
+    {
+        std::vector<MemRequest> waiters;
+        bool evictedValid = false;
+        Addr evictedLine = 0;
+        AppId evictedApp = kInvalidApp;
+    };
+
+    /**
+     * Fill @p line_addr (a response arrived from downstream), allocate
+     * it unless @p bypass, and return the requests waiting on it along
+     * with any line the allocation displaced (victim-tag consumers —
+     * e.g. the CCWS-style lost-locality detector — need the eviction).
+     */
+    FillResult fill(Addr line_addr, AppId app, bool bypass);
+
+    /** True if the line has an in-flight MSHR entry. */
+    bool missInFlight(Addr line_addr) const { return mshrs_.inFlight(line_addr); }
+
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+    const TagArray &tags() const { return tags_; }
+    TagArray &tags() { return tags_; }
+
+    /** Drop all cached state and in-flight bookkeeping. */
+    void reset();
+
+  private:
+    TagArray tags_;
+    MshrFile mshrs_;
+    CacheStats stats_;
+};
+
+} // namespace ebm

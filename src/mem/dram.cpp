@@ -1,0 +1,183 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace ebm {
+
+DramChannel::DramChannel(const GpuConfig &cfg, std::uint32_t num_apps)
+    : timing_(cfg.dram),
+      banksPerGroup_(cfg.banksPerChannel / cfg.bankGroups),
+      capCycles_(cfg.frfcfsCapCycles),
+      banks_(cfg.banksPerChannel),
+      lastColumnInGroup_(cfg.bankGroups, 0),
+      queue_(cfg.frfcfsQueueDepth),
+      dataCycles_(num_apps)
+{
+}
+
+void
+DramChannel::enqueue(const MemRequest &req, const DramCoord &coord)
+{
+    if (req.app >= dataCycles_.size())
+        panic("DramChannel: request with out-of-range app id");
+    if (coord.bank >= banks_.size())
+        panic("DramChannel: request with out-of-range bank");
+    DramCommand cmd;
+    cmd.req = req;
+    cmd.coord = coord;
+    cmd.enqueuedAt = now_;
+    queue_.push(cmd);
+}
+
+std::vector<DramCompletion>
+DramChannel::tick()
+{
+    ++now_;
+    std::vector<DramCompletion> done;
+    if (queue_.empty())
+        return done;
+
+    // FR-FCFS with a single command bus: each DRAM cycle issue the
+    // highest-priority *serviceable* command — (1) the oldest
+    // row-hitting column access, else (2) the oldest activate, else
+    // (3) the oldest precharge. Requests whose bank is timing-blocked
+    // never block younger requests to other banks.
+    //
+    // Starvation cap: a request that has aged past capCycles_ gets
+    // absolute priority — its bank may be precharged even under
+    // younger row hits. Without this, one application's row-hit
+    // stream can starve a co-runner's row misses indefinitely.
+    const DramCommand *aged = nullptr;
+    for (const DramCommand &cmd : queue_) {
+        if (now_ - cmd.enqueuedAt > capCycles_) {
+            aged = &cmd;
+            break; // Queue is age-ordered; first hit is oldest.
+        }
+    }
+
+    // Banks with a pending row-hit must not be precharged/re-activated
+    // out from under their older requests (unless the aged request
+    // overrides).
+    std::vector<bool> bank_has_hit(banks_.size(), false);
+    for (const DramCommand &cmd : queue_) {
+        const DramBank &bank = banks_[cmd.coord.bank];
+        if (bank.rowOpen && bank.openRow == cmd.coord.row)
+            bank_has_hit[cmd.coord.bank] = true;
+    }
+    if (aged != nullptr)
+        bank_has_hit[aged->coord.bank] = false;
+
+    auto col_it = queue_.end();
+    auto act_it = queue_.end();
+    auto pre_it = queue_.end();
+
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const DramCommand &cmd = *it;
+        DramBank &bank = banks_[cmd.coord.bank];
+        const std::uint32_t group = cmd.coord.bank / banksPerGroup_;
+        const bool row_hit =
+            bank.rowOpen && bank.openRow == cmd.coord.row;
+
+        if (row_hit) {
+            if (col_it == queue_.end() &&
+                now_ >= bank.readyForColumn &&
+                now_ >= lastColumnInGroup_[group] + timing_.tCCDl &&
+                busFreeAt_ <= now_ + timing_.tCL) {
+                col_it = it;
+                break; // Highest priority; no need to scan further.
+            }
+            continue;
+        }
+        if (bank_has_hit[cmd.coord.bank])
+            continue; // Let the older row-hit drain first.
+
+        if (!bank.rowOpen) {
+            if (act_it == queue_.end() &&
+                now_ >= bank.readyForActivate &&
+                now_ >= lastActivateAt_ + timing_.tRRD) {
+                act_it = it;
+            }
+        } else {
+            if (pre_it == queue_.end() &&
+                now_ >= bank.rowOpenedAt + timing_.tRAS &&
+                now_ >= bank.readyForActivate) {
+                pre_it = it;
+            }
+        }
+    }
+
+    if (col_it != queue_.end()) {
+        DramCommand &cmd = *col_it;
+        DramBank &bank = banks_[cmd.coord.bank];
+        const std::uint32_t group = cmd.coord.bank / banksPerGroup_;
+        const Cycle data_start =
+            std::max(busFreeAt_, now_ + timing_.tCL);
+        const Cycle data_end = data_start + timing_.burstCycles;
+        busFreeAt_ = data_end;
+        lastColumnInGroup_[group] = now_;
+
+        if (!cmd.causedActivate)
+            rowHits_.add();
+        serviced_.add();
+        dataCycles_[cmd.req.app].add(timing_.burstCycles);
+
+        DramCompletion completion;
+        completion.req = cmd.req;
+        completion.readyAt = data_end;
+        done.push_back(completion);
+        queue_.extract(col_it);
+        return done;
+    }
+
+    if (act_it != queue_.end()) {
+        DramCommand &cmd = *act_it;
+        DramBank &bank = banks_[cmd.coord.bank];
+        bank.rowOpen = true;
+        bank.openRow = cmd.coord.row;
+        bank.rowOpenedAt = now_;
+        bank.readyForColumn = now_ + timing_.tRCD;
+        lastActivateAt_ = now_;
+        cmd.causedActivate = true;
+        rowMisses_.add();
+        return done;
+    }
+
+    if (pre_it != queue_.end()) {
+        DramBank &bank = banks_[pre_it->coord.bank];
+        bank.rowOpen = false;
+        bank.readyForActivate = now_ + timing_.tRP;
+        return done;
+    }
+
+    return done;
+}
+
+void
+DramChannel::checkpoint()
+{
+    for (auto &c : dataCycles_)
+        c.checkpoint();
+    rowHits_.checkpoint();
+    rowMisses_.checkpoint();
+    serviced_.checkpoint();
+}
+
+void
+DramChannel::reset()
+{
+    now_ = 0;
+    busFreeAt_ = 0;
+    lastActivateAt_ = 0;
+    for (auto &bank : banks_)
+        bank = DramBank{};
+    std::fill(lastColumnInGroup_.begin(), lastColumnInGroup_.end(),
+              Cycle{0});
+    queue_.clear();
+    for (auto &c : dataCycles_)
+        c.reset();
+    rowHits_.reset();
+    rowMisses_.reset();
+    serviced_.reset();
+}
+
+} // namespace ebm

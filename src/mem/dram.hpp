@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A GDDR5-like DRAM channel with banked timing and an FR-FCFS
+ * (first-ready, first-come-first-served) memory controller.
+ *
+ * The controller scans its request queue each DRAM command cycle and
+ * prioritizes (1) column accesses to already-open rows (row hits),
+ * then (2) the oldest request. Bank state machines enforce
+ * tRCD/tRP/tRAS/tCCD/tRRD constraints; the shared data bus serializes
+ * bursts. Per-application useful-data-cycle counters provide the
+ * attained-bandwidth half of the paper's EB metric.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/mem_request.hpp"
+
+namespace ebm {
+
+/** A request waiting inside the memory controller. */
+struct DramCommand
+{
+    MemRequest req;
+    DramCoord coord;
+    Cycle enqueuedAt = 0;       ///< DRAM cycle of arrival (for FCFS age).
+    bool causedActivate = false; ///< This request opened its row itself.
+};
+
+/** A serviced request leaving the channel. */
+struct DramCompletion
+{
+    MemRequest req;
+    Cycle readyAt = 0; ///< DRAM cycle at which data is fully returned.
+};
+
+/** Timing state machine of one DRAM bank. */
+struct DramBank
+{
+    bool rowOpen = false;
+    std::uint64_t openRow = 0;
+    Cycle readyForActivate = 0; ///< Earliest next ACT (tRP honoured).
+    Cycle readyForColumn = 0;   ///< Earliest next RD/WR (tRCD honoured).
+    Cycle rowOpenedAt = 0;      ///< For the tRAS constraint.
+};
+
+/** One DRAM channel + its FR-FCFS controller. */
+class DramChannel
+{
+  public:
+    DramChannel(const GpuConfig &cfg, std::uint32_t num_apps);
+
+    /** Can another request be accepted this cycle? */
+    bool queueFull() const { return queue_.full(); }
+
+    /** Enqueue a request (caller must check queueFull()). */
+    void enqueue(const MemRequest &req, const DramCoord &coord);
+
+    /**
+     * Advance one DRAM command cycle; may issue one column access and
+     * one activate. Completed requests are returned to the caller.
+     */
+    std::vector<DramCompletion> tick();
+
+    /** Current DRAM cycle count. */
+    Cycle now() const { return now_; }
+
+    /** Requests currently queued (for utilization heuristics). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    // --- Statistics --------------------------------------------------
+
+    /** Data-bus cycles carrying useful data for @p app (cumulative). */
+    std::uint64_t dataCycles(AppId app) const
+    {
+        return dataCycles_[app].total();
+    }
+
+    /** Data-bus cycles for @p app in the current sampling window. */
+    std::uint64_t windowDataCycles(AppId app) const
+    {
+        return dataCycles_[app].sinceCheckpoint();
+    }
+
+    std::uint64_t rowHits() const { return rowHits_.total(); }
+    std::uint64_t rowMisses() const { return rowMisses_.total(); }
+    std::uint64_t requestsServiced() const { return serviced_.total(); }
+
+    /** Start a new sampling window. */
+    void checkpoint();
+
+    void reset();
+
+  private:
+    const DramTiming timing_;
+    const std::uint32_t banksPerGroup_;
+    const std::uint32_t capCycles_; ///< FR-FCFS starvation cap.
+    Cycle now_ = 0;
+    Cycle busFreeAt_ = 0;       ///< Data bus occupied until this cycle.
+    Cycle lastActivateAt_ = 0;  ///< For the tRRD constraint.
+    std::vector<DramBank> banks_;
+    /** Last column access per bank group, for tCCDl vs tCCDs. */
+    std::vector<Cycle> lastColumnInGroup_;
+    BoundedQueue<DramCommand> queue_;
+
+    std::vector<Counter> dataCycles_;
+    Counter rowHits_;
+    Counter rowMisses_;
+    Counter serviced_;
+};
+
+} // namespace ebm

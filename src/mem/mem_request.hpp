@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The memory transaction that flows core -> L1 -> crossbar -> L2 ->
+ * DRAM and back. Every request carries its owning application id so
+ * per-application bandwidth and miss rates are attributable at every
+ * level of the hierarchy (the paper's monitor needs this).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** Type of a memory transaction. */
+enum class MemAccessType : std::uint8_t {
+    Load,  ///< Read of one cache line.
+    Store, ///< Write of one cache line (write-through, no allocate).
+};
+
+/** One cache-line-granularity transaction. */
+struct MemRequest
+{
+    Addr lineAddr = 0;          ///< Line-aligned byte address.
+    MemAccessType type = MemAccessType::Load;
+    AppId app = kInvalidApp;    ///< Owning application.
+    CoreId core = 0;            ///< Issuing core (for the response path).
+    WarpId warp = 0;            ///< Issuing warp (for wakeup).
+    Cycle issuedAt = 0;         ///< Core cycle the request left the core.
+    bool bypassL1 = false;      ///< Mod+Bypass: skip L1 allocation.
+    bool bypassL2 = false;      ///< Mod+Bypass: skip L2 allocation.
+};
+
+/** A completed transaction heading back to its core. */
+struct MemResponse
+{
+    Addr lineAddr = 0;
+    AppId app = kInvalidApp;
+    CoreId core = 0;
+    WarpId warp = 0;
+    bool bypassL1 = false;
+};
+
+} // namespace ebm

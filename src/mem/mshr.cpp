@@ -1,0 +1,47 @@
+#include "mem/mshr.hpp"
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+MshrFile::MshrFile(std::uint32_t entries, std::uint32_t targets_per_entry)
+    : maxEntries_(entries), maxTargets_(targets_per_entry)
+{
+    if (entries == 0 || targets_per_entry == 0)
+        fatal("MshrFile: entries and targets must be > 0");
+}
+
+MshrOutcome
+MshrFile::registerMiss(const MemRequest &req)
+{
+    auto it = entries_.find(req.lineAddr);
+    if (it != entries_.end()) {
+        if (it->second.size() >= maxTargets_)
+            return MshrOutcome::Stall;
+        it->second.push_back(req);
+        return MshrOutcome::Merged;
+    }
+    if (full())
+        return MshrOutcome::Stall;
+    entries_.emplace(req.lineAddr, std::vector<MemRequest>{req});
+    return MshrOutcome::NewEntry;
+}
+
+bool
+MshrFile::inFlight(Addr line_addr) const
+{
+    return entries_.count(line_addr) != 0;
+}
+
+std::vector<MemRequest>
+MshrFile::completeFill(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        panic("MshrFile: fill for a line with no MSHR entry");
+    std::vector<MemRequest> waiters = std::move(it->second);
+    entries_.erase(it);
+    return waiters;
+}
+
+} // namespace ebm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Miss-status holding registers.
+ *
+ * Tracks in-flight misses at line granularity and merges secondary
+ * misses to the same line into one downstream request. When the MSHR
+ * file is out of entries (or an entry is out of target slots), the
+ * cache must stall the requester — the structural hazard that bounds
+ * per-core memory-level parallelism.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/mem_request.hpp"
+
+namespace ebm {
+
+/** Outcome of attempting to register a miss with the MSHR file. */
+enum class MshrOutcome : std::uint8_t {
+    NewEntry,  ///< First miss to this line; send downstream.
+    Merged,    ///< Line already in flight; no downstream request.
+    Stall,     ///< No entry or target slot available; retry later.
+};
+
+/** MSHR file for one cache instance. */
+class MshrFile
+{
+  public:
+    MshrFile(std::uint32_t entries, std::uint32_t targets_per_entry);
+
+    /**
+     * Register a miss for @p req.
+     * On NewEntry/Merged the requester metadata is recorded for wakeup.
+     */
+    MshrOutcome registerMiss(const MemRequest &req);
+
+    /** Is this line currently in flight? */
+    bool inFlight(Addr line_addr) const;
+
+    /**
+     * Complete the fill of @p line_addr and return all waiting
+     * requesters (primary first). The entry is freed.
+     */
+    std::vector<MemRequest> completeFill(Addr line_addr);
+
+    std::uint32_t entriesInUse() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+    std::uint32_t capacity() const { return maxEntries_; }
+    bool full() const { return entries_.size() >= maxEntries_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::uint32_t maxEntries_;
+    std::uint32_t maxTargets_;
+    std::unordered_map<Addr, std::vector<MemRequest>> entries_;
+};
+
+} // namespace ebm

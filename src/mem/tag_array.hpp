@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Set-associative tag array with true-LRU replacement.
+ *
+ * Shared by L1 data caches and L2 slices. Tags remember the owning
+ * application of the line so cache-occupancy statistics can attribute
+ * inter-application interference.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** Result of a tag probe-and-allocate operation. */
+struct TagLookup
+{
+    bool hit = false;
+    bool evictedValid = false;  ///< An existing line was displaced.
+    Addr evictedLine = 0;       ///< Line address displaced (if any).
+    AppId evictedApp = kInvalidApp;
+};
+
+/** Set-associative, true-LRU tag store. */
+class TagArray
+{
+  public:
+    explicit TagArray(const CacheGeometry &geom);
+
+    /**
+     * Probe for @p line_addr; on miss, optionally allocate it,
+     * evicting the LRU way.
+     *
+     * @param line_addr line-aligned byte address
+     * @param app       owning application (recorded on allocate)
+     * @param allocate  whether a miss installs the line
+     * @return hit/eviction outcome
+     */
+    TagLookup access(Addr line_addr, AppId app, bool allocate);
+
+    /** Probe without changing any state. */
+    bool probe(Addr line_addr) const;
+
+    /** Invalidate a line if present. @return true if it was present. */
+    bool invalidate(Addr line_addr);
+
+    /** Number of valid lines currently owned by @p app. */
+    std::uint32_t linesOwnedBy(AppId app) const;
+
+    /** Invalidate everything (kernel relaunch / new run). */
+    void flush();
+
+    /**
+     * Restrict @p app's allocations to ways [first, first+count).
+     * Lookups still hit in any way (a partition change must not lose
+     * resident lines); only victim selection is constrained. Used for
+     * the Section VI-D L2-partitioning sensitivity study.
+     */
+    void setWayPartition(AppId app, std::uint32_t first,
+                         std::uint32_t count);
+
+    /** Remove @p app's allocation restriction. */
+    void clearWayPartition(AppId app);
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        AppId app = kInvalidApp;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+
+    /** Allocation way range of one app (whole array by default). */
+    struct WayRange
+    {
+        std::uint32_t first = 0;
+        std::uint32_t count = 0; ///< 0 = unrestricted.
+    };
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_; ///< numSets_ x assoc_, row-major.
+    std::vector<WayRange> partitions_; ///< Indexed by AppId.
+};
+
+} // namespace ebm

@@ -1,0 +1,125 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** Guard against division by ~0 in metric ratios. */
+constexpr double kTiny = 1e-12;
+
+std::vector<double>
+applyScale(const std::vector<double> &values,
+           const std::vector<double> &scale)
+{
+    if (scale.empty())
+        return values;
+    if (scale.size() != values.size())
+        fatal("metrics: scale vector size mismatch");
+    std::vector<double> scaled(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        scaled[i] = values[i] / std::max(scale[i], kTiny);
+    return scaled;
+}
+
+/** min_{i,j} v_i / v_j for a vector of positives. */
+double
+minPairwiseRatio(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 1.0;
+    const double lo = *std::min_element(v.begin(), v.end());
+    const double hi = *std::max_element(v.begin(), v.end());
+    if (hi <= kTiny)
+        return 1.0;
+    return std::max(lo, 0.0) / hi;
+}
+
+double
+harmonicMeanTimesN(const std::vector<double> &v)
+{
+    double inv_sum = 0.0;
+    for (double x : v)
+        inv_sum += 1.0 / std::max(x, kTiny);
+    if (inv_sum <= kTiny)
+        return 0.0;
+    return static_cast<double>(v.size()) / inv_sum;
+}
+
+} // namespace
+
+double
+AppRunStats::eb() const
+{
+    return bw / std::max(cmr(), kTiny);
+}
+
+double
+AppRunStats::ebAtL2() const
+{
+    return bw / std::max(l2Mr, kTiny);
+}
+
+double
+slowdown(double ipc_shared, double ipc_alone)
+{
+    return ipc_shared / std::max(ipc_alone, kTiny);
+}
+
+double
+weightedSpeedup(const std::vector<double> &sds)
+{
+    double sum = 0.0;
+    for (double sd : sds)
+        sum += sd;
+    return sum;
+}
+
+double
+fairnessIndex(const std::vector<double> &sds)
+{
+    return minPairwiseRatio(sds);
+}
+
+double
+harmonicSpeedup(const std::vector<double> &sds)
+{
+    // Paper (2 apps): HS = 2 / (1/SD-1 + 1/SD-2); generalized to n.
+    return harmonicMeanTimesN(sds);
+}
+
+double
+ebWeightedSpeedup(const std::vector<double> &ebs)
+{
+    double sum = 0.0;
+    for (double eb : ebs)
+        sum += eb;
+    return sum;
+}
+
+double
+ebFairnessIndex(const std::vector<double> &ebs,
+                const std::vector<double> &scale)
+{
+    return minPairwiseRatio(applyScale(ebs, scale));
+}
+
+double
+ebHarmonicSpeedup(const std::vector<double> &ebs,
+                  const std::vector<double> &scale)
+{
+    return harmonicMeanTimesN(applyScale(ebs, scale));
+}
+
+double
+aloneRatioBias(double v0, double v1)
+{
+    const double m = v0 / std::max(v1, kTiny);
+    return std::max(m, 1.0 / std::max(m, kTiny));
+}
+
+} // namespace ebm

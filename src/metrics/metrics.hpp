@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The paper's Table III metrics.
+ *
+ * SD-based (need alone-run information):
+ *   SD  = IPC-Shared / IPC-Alone(bestTLP)
+ *   WS  = sum of SDs                      (system throughput)
+ *   FI  = min over pairs of SD_i/SD_j     (fairness; 1 = fair)
+ *   HS  = n / sum(1/SD_i)                 (harmonic weighted speedup)
+ *
+ * EB-based (computable online, no alone information):
+ *   BW    = attained DRAM bandwidth fraction
+ *   CMR   = L1MR x L2MR
+ *   EB    = BW / CMR
+ *   EB-WS = sum of EBs
+ *   EB-FI = min over pairs of EB_i/EB_j (optionally with scaling)
+ *   EB-HS = n / sum(1/EB_i)
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ebm {
+
+/** Per-application observables of one (shared or alone) run. */
+struct AppRunStats
+{
+    double ipc = 0.0;
+    double bw = 0.0;     ///< Attained DRAM bandwidth fraction.
+    double l1Mr = 1.0;   ///< L1 miss rate.
+    double l2Mr = 1.0;   ///< L2 miss rate.
+
+    /** Combined miss rate (Table III). */
+    double cmr() const { return l1Mr * l2Mr; }
+
+    /** Effective bandwidth observed by the cores. */
+    double eb() const;
+
+    /** Effective bandwidth observed by the L2 (one level down). */
+    double ebAtL2() const;
+};
+
+/** Slowdown of one application vs its alone-bestTLP run. */
+double slowdown(double ipc_shared, double ipc_alone);
+
+/** Weighted speedup: sum of slowdowns. */
+double weightedSpeedup(const std::vector<double> &sds);
+
+/** Fairness index: min_{i,j} SD_i / SD_j (1 = perfectly fair). */
+double fairnessIndex(const std::vector<double> &sds);
+
+/** Harmonic weighted speedup: n / sum(1/SD_i). */
+double harmonicSpeedup(const std::vector<double> &sds);
+
+/** EB-WS: sum of per-app effective bandwidths. */
+double ebWeightedSpeedup(const std::vector<double> &ebs);
+
+/** EB-FI: min_{i,j} EB_i / EB_j after optional per-app scaling. */
+double ebFairnessIndex(const std::vector<double> &ebs,
+                       const std::vector<double> &scale = {});
+
+/** EB-HS: n / sum(1/EB_i) after optional per-app scaling. */
+double ebHarmonicSpeedup(const std::vector<double> &ebs,
+                         const std::vector<double> &scale = {});
+
+/**
+ * Alone-ratio bias max(m, 1/m) of a two-element ratio m = v0/v1
+ * (the paper's Figure 5 compares IPC_AR vs EB_AR this way).
+ */
+double aloneRatioBias(double v0, double v1);
+
+} // namespace ebm

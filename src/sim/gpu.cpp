@@ -1,0 +1,256 @@
+#include "sim/gpu.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+Gpu::Gpu(const GpuConfig &cfg, std::vector<AppProfile> apps,
+         std::vector<std::uint32_t> core_share)
+    : cfg_(cfg), apps_(std::move(apps)), amap_(cfg_), xbar_(cfg_)
+{
+    numApps_ = static_cast<std::uint32_t>(apps_.size());
+    if (numApps_ == 0)
+        fatal("Gpu: at least one application required");
+    cfg_.numApps = numApps_;
+    cfg_.validate();
+
+    if (core_share.empty()) {
+        core_share.assign(numApps_, cfg_.numCores / numApps_);
+    }
+    if (core_share.size() != numApps_)
+        fatal("Gpu: core_share size mismatch");
+    const std::uint32_t total = std::accumulate(
+        core_share.begin(), core_share.end(), 0u);
+    if (total != cfg_.numCores) {
+        fatal("Gpu: core shares sum to " + std::to_string(total) +
+              ", expected " + std::to_string(cfg_.numCores));
+    }
+
+    tracers_.reserve(numApps_);
+    for (AppId app = 0; app < numApps_; ++app) {
+        tracers_.push_back(std::make_unique<TraceGen>(
+            apps_[app], cfg_.l1.lineBytes, appAddressBase(app)));
+    }
+
+    appCores_.resize(numApps_);
+    cores_.reserve(cfg_.numCores);
+    CoreId next_core = 0;
+    for (AppId app = 0; app < numApps_; ++app) {
+        for (std::uint32_t i = 0; i < core_share[app]; ++i) {
+            cores_.push_back(std::make_unique<SimtCore>(
+                cfg_, amap_, next_core, app, tracers_[app].get()));
+            appCores_[app].push_back(next_core);
+            ++next_core;
+        }
+    }
+
+    partitions_.reserve(cfg_.numPartitions);
+    for (PartitionId p = 0; p < cfg_.numPartitions; ++p) {
+        partitions_.push_back(
+            std::make_unique<MemoryPartition>(cfg_, amap_, numApps_));
+    }
+}
+
+void
+Gpu::tick()
+{
+    ++now_;
+
+    // Cores issue into the crossbar.
+    for (auto &core : cores_)
+        core->tickIssue(now_, xbar_);
+
+    // Crossbar moves flits.
+    xbar_.tick(now_);
+
+    // Partitions drain the request network, tick L2+DRAM, and push
+    // responses into the response network.
+    for (PartitionId p = 0; p < partitions_.size(); ++p) {
+        MemRequest req;
+        // Eject at most one request per partition per cycle (one L2
+        // port), respecting partition input-queue back-pressure.
+        if (partitions_[p]->canAccept()) {
+            if (xbar_.requestNet().tryEject(p, now_, req))
+                partitions_[p]->deliver(req);
+        }
+
+        respScratch_.clear();
+        partitions_[p]->tick(now_, respScratch_);
+        for (const MemResponse &resp : respScratch_) {
+            // Response network back-pressure: if the output queue is
+            // full the response is retried via a local holdover.
+            if (xbar_.responseNet().canAccept(p, resp.core)) {
+                xbar_.responseNet().inject(p, resp.core, resp);
+            } else {
+                holdover_.push_back(resp);
+            }
+        }
+    }
+
+    // Retry responses that found the network full last cycle.
+    if (!holdover_.empty()) {
+        std::vector<MemResponse> still_blocked;
+        for (const MemResponse &resp : holdover_) {
+            // The partition of origin no longer matters for retry
+            // fairness at this scale; use core-hash for the port.
+            const PartitionId p = amap_.partitionOf(resp.lineAddr);
+            if (xbar_.responseNet().canAccept(p, resp.core))
+                xbar_.responseNet().inject(p, resp.core, resp);
+            else
+                still_blocked.push_back(resp);
+        }
+        holdover_.swap(still_blocked);
+    }
+
+    // Cores absorb responses and local completions.
+    for (auto &core : cores_)
+        core->tickResponses(now_, xbar_);
+}
+
+void
+Gpu::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        tick();
+}
+
+void
+Gpu::setAppTlp(AppId app, std::uint32_t warps_per_scheduler)
+{
+    for (CoreId id : appCores_[app])
+        cores_[id]->setTlpLimit(warps_per_scheduler);
+}
+
+std::uint32_t
+Gpu::appTlp(AppId app) const
+{
+    return cores_[appCores_[app].front()]->tlpLimit();
+}
+
+void
+Gpu::setAppL1Bypass(AppId app, bool bypass)
+{
+    for (CoreId id : appCores_[app])
+        cores_[id]->setL1Bypass(bypass);
+}
+
+void
+Gpu::setAppL2Bypass(AppId app, bool bypass)
+{
+    for (CoreId id : appCores_[app])
+        cores_[id]->setL2Bypass(bypass);
+}
+
+void
+Gpu::setAppL2WayPartition(AppId app, std::uint32_t first,
+                          std::uint32_t count)
+{
+    for (auto &part : partitions_)
+        part->l2().tags().setWayPartition(app, first, count);
+}
+
+std::uint64_t
+Gpu::appInstrs(AppId app) const
+{
+    std::uint64_t total = 0;
+    for (CoreId id : appCores_[app])
+        total += cores_[id]->instrsRetired();
+    return total;
+}
+
+std::uint64_t
+Gpu::appDataCycles(AppId app) const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : partitions_)
+        total += part->dataCycles(app);
+    return total;
+}
+
+double
+Gpu::appL1MissRate(AppId app) const
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    for (CoreId id : appCores_[app]) {
+        accesses += cores_[id]->l1().stats().accesses(app);
+        misses += cores_[id]->l1().stats().misses(app);
+    }
+    if (accesses == 0)
+        return 1.0;
+    return static_cast<double>(misses) / static_cast<double>(accesses);
+}
+
+double
+Gpu::appL2MissRate(AppId app) const
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    for (const auto &part : partitions_) {
+        accesses += part->l2().stats().accesses(app);
+        misses += part->l2().stats().misses(app);
+    }
+    if (accesses == 0)
+        return 1.0;
+    return static_cast<double>(misses) / static_cast<double>(accesses);
+}
+
+double
+Gpu::appAttainedBw(AppId app) const
+{
+    if (now_ == 0)
+        return 0.0;
+    // Peak = every channel busy every DRAM cycle. Using DRAM cycles
+    // elapsed on channel 0 as the common denominator (all channels
+    // share one clock).
+    const Cycle dram_cycles = partitions_.front()->dramCyclesElapsed();
+    if (dram_cycles == 0)
+        return 0.0;
+    const double peak = static_cast<double>(dram_cycles) *
+                        static_cast<double>(partitions_.size());
+    return static_cast<double>(appDataCycles(app)) / peak;
+}
+
+double
+Gpu::totalAttainedBw() const
+{
+    double total = 0.0;
+    for (AppId app = 0; app < numApps_; ++app)
+        total += appAttainedBw(app);
+    return total;
+}
+
+double
+Gpu::appIpc(AppId app) const
+{
+    if (now_ == 0)
+        return 0.0;
+    return static_cast<double>(appInstrs(app)) /
+           static_cast<double>(now_);
+}
+
+void
+Gpu::checkpoint()
+{
+    for (auto &core : cores_)
+        core->checkpoint();
+    for (auto &part : partitions_)
+        part->checkpoint();
+}
+
+void
+Gpu::reset(bool flush_caches)
+{
+    now_ = 0;
+    for (auto &core : cores_)
+        core->reset(flush_caches);
+    xbar_.clear();
+    holdover_.clear();
+    for (auto &part : partitions_)
+        part->reset();
+}
+
+} // namespace ebm

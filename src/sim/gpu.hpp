@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The whole simulated GPU: SIMT cores partitioned among applications,
+ * the crossbar, and the memory partitions. This is the substrate every
+ * TLP-management scheme runs on; schemes interact with it only through
+ * setTlpLimit()/setL1Bypass() and the statistics accessors, mirroring
+ * the narrow hardware interface of the paper's Figure 8.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/address_map.hpp"
+#include "mem/memory_partition.hpp"
+#include "sim/simt_core.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ebm {
+
+/** The simulated GPU executing one or more applications. */
+class Gpu
+{
+  public:
+    /**
+     * @param cfg  configuration; cfg.numApps must equal apps.size()
+     * @param apps one profile per co-scheduled application
+     * @param core_share optional per-app core counts (sums to
+     *        cfg.numCores); empty means an equal split
+     */
+    Gpu(const GpuConfig &cfg, std::vector<AppProfile> apps,
+        std::vector<std::uint32_t> core_share = {});
+
+    /** Advance one core-clock cycle. */
+    void tick();
+
+    /** Run for @p cycles core cycles. */
+    void run(Cycle cycles);
+
+    Cycle now() const { return now_; }
+
+    // --- The TLP / bypass knobs ---------------------------------------
+
+    /** Set the per-scheduler TLP limit of every core of @p app. */
+    void setAppTlp(AppId app, std::uint32_t warps_per_scheduler);
+
+    /** Current TLP limit of @p app. */
+    std::uint32_t appTlp(AppId app) const;
+
+    /** Enable/disable L1 bypass on every core of @p app. */
+    void setAppL1Bypass(AppId app, bool bypass);
+
+    /** Enable/disable L2 bypass on every core of @p app. */
+    void setAppL2Bypass(AppId app, bool bypass);
+
+    /**
+     * Restrict @p app's L2 allocations to ways [first, first+count)
+     * in every slice (Section VI-D cache-partitioning study).
+     */
+    void setAppL2WayPartition(AppId app, std::uint32_t first,
+                              std::uint32_t count);
+
+    // --- Statistics ----------------------------------------------------
+
+    std::uint32_t numApps() const { return numApps_; }
+    const GpuConfig &config() const { return cfg_; }
+    const AddressMap &addressMap() const { return amap_; }
+
+    /** Cores belonging to @p app. */
+    const std::vector<CoreId> &coresOf(AppId app) const
+    {
+        return appCores_[app];
+    }
+
+    SimtCore &core(CoreId id) { return *cores_[id]; }
+    const SimtCore &core(CoreId id) const { return *cores_[id]; }
+    MemoryPartition &partition(PartitionId id) { return *partitions_[id]; }
+    const MemoryPartition &partition(PartitionId id) const
+    {
+        return *partitions_[id];
+    }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    std::uint32_t numPartitions() const
+    {
+        return static_cast<std::uint32_t>(partitions_.size());
+    }
+
+    /** Instructions retired by @p app since the last reset. */
+    std::uint64_t appInstrs(AppId app) const;
+
+    /** Aggregate attained data-bus cycles of @p app (all channels). */
+    std::uint64_t appDataCycles(AppId app) const;
+
+    /** Cumulative L1 miss rate of @p app across its cores. */
+    double appL1MissRate(AppId app) const;
+
+    /** Cumulative L2 miss rate of @p app across all partitions. */
+    double appL2MissRate(AppId app) const;
+
+    /**
+     * Attained DRAM bandwidth of @p app as a fraction of the
+     * theoretical peak of the whole memory system (the paper's BW).
+     */
+    double appAttainedBw(AppId app) const;
+
+    /** Sum of all apps' attained bandwidth (utilization guideline 1). */
+    double totalAttainedBw() const;
+
+    /** IPC of @p app over the elapsed cycles. */
+    double appIpc(AppId app) const;
+
+    /** Start a new sampling window on every counter in the machine. */
+    void checkpoint();
+
+    /** Clear all state for a fresh measurement. */
+    void reset(bool flush_caches = true);
+
+  private:
+    GpuConfig cfg_;
+    std::vector<AppProfile> apps_;
+    AddressMap amap_;
+    std::uint32_t numApps_;
+    Cycle now_ = 0;
+
+    std::vector<std::unique_ptr<TraceGen>> tracers_;
+    std::vector<std::unique_ptr<SimtCore>> cores_;
+    std::vector<std::vector<CoreId>> appCores_;
+    Crossbar xbar_;
+    std::vector<std::unique_ptr<MemoryPartition>> partitions_;
+    std::vector<MemResponse> respScratch_;
+    /** Responses blocked by response-network back-pressure. */
+    std::vector<MemResponse> holdover_;
+};
+
+} // namespace ebm

@@ -1,0 +1,257 @@
+#include "sim/simt_core.hpp"
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+SimtCore::SimtCore(const GpuConfig &cfg, const AddressMap &amap,
+                   CoreId id, AppId app, const TraceGen *tracer)
+    : cfg_(cfg),
+      amap_(amap),
+      id_(id),
+      app_(app),
+      tracer_(tracer),
+      warps_(cfg.maxWarpsPerCore),
+      l1_(cfg.l1, cfg.numApps),
+      victimTags_([&cfg] {
+          // Victim tags track twice the L1's line count at the same
+          // set count so recently evicted lines linger long enough to
+          // witness lost locality.
+          CacheGeometry geom = cfg.l1;
+          geom.sizeBytes = cfg.l1.sizeBytes * 2;
+          geom.assoc = cfg.l1.assoc * 2;
+          return geom;
+      }())
+{
+    if (tracer_ == nullptr)
+        fatal("SimtCore: null trace generator");
+    // Warp contexts are dealt round-robin to the schedulers, matching
+    // the usual even/odd warp-id split; within a scheduler, lower
+    // hardware id means older.
+    const std::uint32_t per_sched =
+        cfg.maxWarpsPerCore / cfg.schedulersPerCore;
+    schedulers_.reserve(cfg.schedulersPerCore);
+    for (std::uint32_t s = 0; s < cfg.schedulersPerCore; ++s) {
+        std::vector<WarpId> ids;
+        ids.reserve(per_sched);
+        for (std::uint32_t i = 0; i < per_sched; ++i)
+            ids.push_back(i * cfg.schedulersPerCore + s);
+        schedulers_.emplace_back(std::move(ids), per_sched);
+    }
+}
+
+void
+SimtCore::setTlpLimit(std::uint32_t warps_per_scheduler)
+{
+    for (WarpScheduler &sched : schedulers_)
+        sched.setTlpLimit(warps_per_scheduler);
+}
+
+bool
+SimtCore::warpReady(WarpId warp) const
+{
+    const WarpState &w = warps_[warp];
+    const InstrDesc instr = tracer_->instrAt(w.nextInstr);
+    if (instr.waitsForMem && w.outstanding > 0)
+        return false;
+    return true;
+}
+
+bool
+SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
+{
+    WarpState &w = warps_[warp];
+    const InstrDesc instr = tracer_->instrAt(w.nextInstr);
+
+    if (!instr.isLoad && !instr.isStore) {
+        // Compute instructions are fully pipelined at the issue stage.
+        ++w.nextInstr;
+        ++w.instrsRetired;
+        instrsRetired_.add();
+        return true;
+    }
+
+    // Memory instructions issue one cache-line transaction per cycle
+    // (an uncoalesced load therefore occupies the scheduler for
+    // numLines cycles).
+    const std::uint64_t gwarp =
+        static_cast<std::uint64_t>(id_) * cfg_.maxWarpsPerCore + warp;
+    const Addr line = tracer_->lineAddr(gwarp, w.nextInstr, w.microIdx,
+                                        w.streamPos);
+
+    if (instr.isStore) {
+        // Write-through, no-allocate, fire-and-forget: the store
+        // consumes interconnect and DRAM bandwidth, but no warp state
+        // waits on it and it does not touch the caches.
+        const PartitionId store_part = amap_.partitionOf(line);
+        if (!xbar.requestNet().canAccept(id_, store_part))
+            return false;
+        MemRequest store;
+        store.lineAddr = line;
+        store.type = MemAccessType::Store;
+        store.app = app_;
+        store.core = id_;
+        store.warp = warp;
+        store.issuedAt = now;
+        xbar.requestNet().inject(id_, store_part, store);
+        ++w.nextInstr;
+        ++w.instrsRetired;
+        instrsRetired_.add();
+        return true;
+    }
+
+    MemRequest req;
+    req.lineAddr = line;
+    req.type = MemAccessType::Load;
+    req.app = app_;
+    req.core = id_;
+    req.warp = warp;
+    req.issuedAt = now;
+    req.bypassL1 = bypassL1_;
+    req.bypassL2 = bypassL2_;
+
+    // Check downstream capacity *before* touching the L1 so a stalled
+    // transaction is not double-counted in the miss statistics.
+    const PartitionId part = amap_.partitionOf(line);
+    if (!xbar.requestNet().canAccept(id_, part))
+        return false;
+
+    const CacheOutcome outcome = l1_.access(req, bypassL1_);
+    switch (outcome) {
+      case CacheOutcome::Hit:
+        localPending_.push(
+            LocalCompletion{now + cfg_.l1HitLatency, warp});
+        break;
+      case CacheOutcome::MissNew:
+        xbar.requestNet().inject(id_, part, req);
+        ++w.outstandingOffchip;
+        if (victimTags_.invalidate(line))
+            lostLocality_.add();
+        break;
+      case CacheOutcome::MissMerged:
+        ++w.outstandingOffchip;
+        break; // Will wake when the in-flight fill returns.
+      case CacheOutcome::Stall:
+        return false; // MSHR structural hazard; retry next cycle.
+    }
+
+    ++w.outstanding;
+    ++w.microIdx;
+    if (w.microIdx >= instr.numLines) {
+        w.microIdx = 0;
+        if (instr.category == AccessCategory::Stream)
+            ++w.streamPos;
+        ++w.nextInstr;
+        ++w.instrsRetired;
+        instrsRetired_.add();
+    }
+    return true;
+}
+
+void
+SimtCore::tickIssue(Cycle now, Crossbar &xbar)
+{
+    bool any_issued = false;
+    bool any_structural = false;
+    for (WarpScheduler &sched : schedulers_) {
+        for (std::uint32_t n = 0; n < cfg_.maxIssuePerScheduler; ++n) {
+            const WarpId warp = sched.pick(
+                [this](WarpId w) { return warpReady(w); });
+            if (warp == WarpScheduler::kNoWarp)
+                break;
+            if (!issueFrom(warp, now, xbar)) {
+                // Structural stall: a ready warp was blocked by
+                // downstream back-pressure.
+                any_structural = true;
+                break;
+            }
+            sched.issued(warp);
+            any_issued = true;
+        }
+    }
+    if (any_structural)
+        stallCycles_.add();
+
+    if (!any_issued) {
+        idleCycles_.add();
+        // Attribute the idle cycle to memory if any SWL-active warp is
+        // blocked on outstanding loads.
+        // Only off-chip latency counts as "memory waiting": waiting
+        // out an L1 hit is a parallelism shortfall, not contention
+        // (this is the distinction DynCTA's c_mem signal relies on).
+        bool mem_blocked = false;
+        for (const WarpScheduler &sched : schedulers_) {
+            for (WarpId w : sched.activeWarps()) {
+                if (warps_[w].outstandingOffchip > 0) {
+                    mem_blocked = true;
+                    break;
+                }
+            }
+            if (mem_blocked)
+                break;
+        }
+        if (mem_blocked)
+            memWaitCycles_.add();
+    }
+}
+
+void
+SimtCore::tickResponses(Cycle now, Crossbar &xbar)
+{
+    // L1-hit latency expirations.
+    while (!localPending_.empty() && localPending_.top().readyAt <= now) {
+        WarpState &w = warps_[localPending_.top().warp];
+        if (w.outstanding == 0)
+            panic("SimtCore: completion for a warp with none pending");
+        --w.outstanding;
+        localPending_.pop();
+    }
+
+    // Fills coming back over the crossbar.
+    MemResponse resp;
+    while (xbar.responseNet().tryEject(id_, now, resp)) {
+        const auto fill =
+            l1_.fill(resp.lineAddr, resp.app, resp.bypassL1);
+        if (fill.evictedValid)
+            victimTags_.access(fill.evictedLine, app_, true);
+        for (const MemRequest &req : fill.waiters) {
+            WarpState &w = warps_[req.warp];
+            if (w.outstanding == 0 || w.outstandingOffchip == 0)
+                panic("SimtCore: fill for a warp with none pending");
+            --w.outstanding;
+            --w.outstandingOffchip;
+        }
+    }
+}
+
+void
+SimtCore::checkpoint()
+{
+    instrsRetired_.checkpoint();
+    idleCycles_.checkpoint();
+    memWaitCycles_.checkpoint();
+    stallCycles_.checkpoint();
+    lostLocality_.checkpoint();
+    l1_.stats().checkpoint();
+}
+
+void
+SimtCore::reset(bool flush_l1)
+{
+    for (WarpState &w : warps_)
+        w.reset();
+    for (WarpScheduler &sched : schedulers_)
+        sched.resetGreedy();
+    while (!localPending_.empty())
+        localPending_.pop();
+    if (flush_l1)
+        l1_.reset();
+    instrsRetired_.reset();
+    idleCycles_.reset();
+    memWaitCycles_.reset();
+    stallCycles_.reset();
+    lostLocality_.reset();
+    victimTags_.flush();
+}
+
+} // namespace ebm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * One SIMT core (compute unit / streaming multiprocessor): warp
+ * contexts, two GTO+SWL issue arbiters, an L1 data cache with MSHRs,
+ * and the load/store path into the crossbar. Each core belongs to
+ * exactly one application (the paper's exclusive core partitioning).
+ */
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/address_map.hpp"
+#include "mem/cache.hpp"
+#include "mem/mem_request.hpp"
+#include "sim/warp.hpp"
+#include "sim/warp_scheduler.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ebm {
+
+/** One SIMT core running one application's warps. */
+class SimtCore
+{
+  public:
+    /**
+     * @param cfg    shared GPU configuration
+     * @param amap   global address map
+     * @param id     global core id (also the crossbar input port)
+     * @param app    owning application
+     * @param tracer instruction/address generator of the application
+     */
+    SimtCore(const GpuConfig &cfg, const AddressMap &amap, CoreId id,
+             AppId app, const TraceGen *tracer);
+
+    /** Issue stage for one core cycle. */
+    void tickIssue(Cycle now, Crossbar &xbar);
+
+    /** Accept memory responses arriving from the crossbar. */
+    void tickResponses(Cycle now, Crossbar &xbar);
+
+    /** Apply a new per-scheduler TLP limit (the SWL knob). */
+    void setTlpLimit(std::uint32_t warps_per_scheduler);
+    std::uint32_t tlpLimit() const { return schedulers_[0].tlpLimit(); }
+
+    /** Enable/disable L1 bypass for this core (Mod+Bypass). */
+    void setL1Bypass(bool bypass) { bypassL1_ = bypass; }
+    bool l1Bypass() const { return bypassL1_; }
+
+    /** Enable/disable L2 bypass for this core's requests. */
+    void setL2Bypass(bool bypass) { bypassL2_ = bypass; }
+    bool l2Bypass() const { return bypassL2_; }
+
+    CoreId id() const { return id_; }
+    AppId app() const { return app_; }
+
+    /** Warp instructions retired (for IPC). */
+    std::uint64_t instrsRetired() const { return instrsRetired_.total(); }
+    std::uint64_t windowInstrsRetired() const
+    {
+        return instrsRetired_.sinceCheckpoint();
+    }
+
+    const Cache &l1() const { return l1_; }
+    Cache &l1() { return l1_; }
+
+    /** Cycles in which no scheduler could issue (DynCTA's signal). */
+    std::uint64_t idleCycles() const { return idleCycles_.total(); }
+    std::uint64_t windowIdleCycles() const
+    {
+        return idleCycles_.sinceCheckpoint();
+    }
+    /** Idle cycles where some warp was blocked on memory. */
+    std::uint64_t memWaitCycles() const { return memWaitCycles_.total(); }
+    std::uint64_t windowMemWaitCycles() const
+    {
+        return memWaitCycles_.sinceCheckpoint();
+    }
+
+    /**
+     * Cycles where a ready warp could not issue because of downstream
+     * back-pressure (interconnect or MSHR full) — the congestion
+     * signal local TLP heuristics react to.
+     */
+    std::uint64_t stallCycles() const { return stallCycles_.total(); }
+    std::uint64_t windowStallCycles() const
+    {
+        return stallCycles_.sinceCheckpoint();
+    }
+
+    /** L1 misses that hit the victim tags (lost locality; CCWS). */
+    std::uint64_t lostLocality() const { return lostLocality_.total(); }
+    std::uint64_t windowLostLocality() const
+    {
+        return lostLocality_.sinceCheckpoint();
+    }
+
+    /** Start a new sampling window on all core counters. */
+    void checkpoint();
+
+    /** Clear warps, L1, and counters (new run / kernel relaunch). */
+    void reset(bool flush_l1);
+
+  private:
+    /** Can @p warp issue this cycle? */
+    bool warpReady(WarpId warp) const;
+
+    /** Try to issue one instruction from @p warp. @return success. */
+    bool issueFrom(WarpId warp, Cycle now, Crossbar &xbar);
+
+    struct LocalCompletion
+    {
+        Cycle readyAt;
+        WarpId warp;
+        bool operator>(const LocalCompletion &o) const
+        {
+            return readyAt > o.readyAt;
+        }
+    };
+
+    const GpuConfig &cfg_;
+    const AddressMap &amap_;
+    CoreId id_;
+    AppId app_;
+    const TraceGen *tracer_;
+    bool bypassL1_ = false;
+    bool bypassL2_ = false;
+
+    std::vector<WarpState> warps_;
+    std::vector<WarpScheduler> schedulers_;
+    Cache l1_;
+    /**
+     * Victim tags of recently evicted L1 lines. An L1 miss that hits
+     * here is *lost locality*: the line would have hit had fewer
+     * warps shared the cache — the CCWS-style throttle signal.
+     */
+    TagArray victimTags_;
+    /** L1-hit responses waiting out the hit latency. */
+    std::priority_queue<LocalCompletion, std::vector<LocalCompletion>,
+                        std::greater<LocalCompletion>> localPending_;
+
+    Counter instrsRetired_;
+    Counter idleCycles_;
+    Counter memWaitCycles_;
+    Counter stallCycles_;
+    Counter lostLocality_;
+};
+
+} // namespace ebm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-warp execution state. A warp walks its procedural instruction
+ * stream in order; loads add outstanding transactions; an instruction
+ * flagged waitsForMem cannot issue until the warp's outstanding count
+ * drains to zero (the scoreboard dependency that makes TLP the
+ * latency-hiding knob).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** Dynamic state of one warp context. */
+struct WarpState
+{
+    std::uint64_t nextInstr = 0;   ///< Index into the warp program.
+    std::uint32_t microIdx = 0;    ///< Transaction index within a load.
+    std::uint32_t outstanding = 0; ///< In-flight memory transactions.
+    /** Subset of outstanding that missed the L1 (off-chip latency). */
+    std::uint32_t outstandingOffchip = 0;
+    std::uint64_t streamPos = 0;   ///< Stream-category access counter.
+    std::uint64_t instrsRetired = 0;
+
+    /** Reset for a fresh run (kernel relaunch keeps streamPos). */
+    void
+    reset()
+    {
+        nextInstr = 0;
+        microIdx = 0;
+        outstanding = 0;
+        outstandingOffchip = 0;
+        streamPos = 0;
+        instrsRetired = 0;
+    }
+};
+
+} // namespace ebm

@@ -1,0 +1,54 @@
+#include "sim/warp_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+WarpScheduler::WarpScheduler(std::vector<WarpId> warp_ids,
+                             std::uint32_t tlp_limit)
+    : warpIds_(std::move(warp_ids))
+{
+    if (warpIds_.empty())
+        fatal("WarpScheduler: no warp contexts");
+    tlpLimit_ = 1;
+    setTlpLimit(tlp_limit);
+}
+
+void
+WarpScheduler::setTlpLimit(std::uint32_t limit)
+{
+    const auto max_limit = static_cast<std::uint32_t>(warpIds_.size());
+    tlpLimit_ = std::clamp<std::uint32_t>(limit, 1, max_limit);
+}
+
+std::vector<WarpId>
+WarpScheduler::activeWarps() const
+{
+    return {warpIds_.begin(), warpIds_.begin() + tlpLimit_};
+}
+
+WarpId
+WarpScheduler::pick(const std::function<bool(WarpId)> &is_ready)
+{
+    // Greedy: stick with the last-issued warp while it is both ready
+    // and still within the SWL window.
+    if (lastIssued_ != kNoWarp) {
+        for (std::uint32_t i = 0; i < tlpLimit_; ++i) {
+            if (warpIds_[i] == lastIssued_) {
+                if (is_ready(lastIssued_))
+                    return lastIssued_;
+                break;
+            }
+        }
+    }
+    // Then oldest: age order equals position in warpIds_.
+    for (std::uint32_t i = 0; i < tlpLimit_; ++i) {
+        if (is_ready(warpIds_[i]))
+            return warpIds_[i];
+    }
+    return kNoWarp;
+}
+
+} // namespace ebm

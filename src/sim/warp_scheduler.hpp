@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Warp issue arbitration: GTO (greedy-then-oldest) priority logic
+ * wrapped by the SWL (static wavefront limiting) TLP filter.
+ *
+ * GTO keeps issuing from the last-issued warp while it stays ready,
+ * otherwise falls back to the oldest ready warp. SWL exposes only the
+ * first `tlpLimit` warp contexts of the scheduler to the GTO logic —
+ * the warp-granularity TLP knob every scheme in the paper turns.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** One warp issue arbiter (a core has schedulersPerCore of these). */
+class WarpScheduler
+{
+  public:
+    /**
+     * @param warp_ids  hardware warp contexts owned by this scheduler,
+     *                  in age order (index 0 = oldest)
+     * @param tlp_limit initial SWL limit (warps exposed to GTO)
+     */
+    WarpScheduler(std::vector<WarpId> warp_ids, std::uint32_t tlp_limit);
+
+    /**
+     * Pick the next warp to issue from, in GTO order, among the first
+     * tlpLimit() warps. @p is_ready reports whether a warp can issue
+     * this cycle. @return the warp id, or kNoWarp if none is ready.
+     */
+    WarpId pick(const std::function<bool(WarpId)> &is_ready);
+
+    /** Record that @p warp actually issued (updates greedy state). */
+    void issued(WarpId warp) { lastIssued_ = warp; }
+
+    /** Change the SWL limit (clamped to the context count). */
+    void setTlpLimit(std::uint32_t limit);
+
+    /** Forget the greedy pointer (core reset / kernel relaunch). */
+    void resetGreedy() { lastIssued_ = kNoWarp; }
+
+    std::uint32_t tlpLimit() const { return tlpLimit_; }
+
+    /** Warps currently exposed to the GTO logic. */
+    std::vector<WarpId> activeWarps() const;
+
+    static constexpr WarpId kNoWarp = 0xffffffffu;
+
+  private:
+    std::vector<WarpId> warpIds_; ///< Age order.
+    std::uint32_t tlpLimit_;
+    WarpId lastIssued_ = kNoWarp;
+};
+
+} // namespace ebm

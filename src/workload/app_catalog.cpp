@@ -1,0 +1,114 @@
+#include "workload/app_catalog.hpp"
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** Convenience builder for the table below. */
+AppProfile
+make(const std::string &name, std::uint32_t seed,
+     std::uint32_t mlp_burst, std::uint32_t compute_run,
+     double f_l1, double f_l2, double f_rand,
+     std::uint32_t l1_lines, std::uint32_t l2_lines,
+     std::uint32_t rand_lines_per_access, std::uint32_t stores = 0)
+{
+    AppProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.mlpBurst = mlp_burst;
+    p.computeRun = compute_run;
+    p.fracL1Reuse = f_l1;
+    p.fracL2Reuse = f_l2;
+    p.fracRandom = f_rand;
+    p.l1ReuseLines = l1_lines;
+    p.l2ReuseLines = l2_lines;
+    p.randomLinesPerAccess = rand_lines_per_access;
+    p.storesPerLoop = stores;
+    return p;
+}
+
+/**
+ * The catalog. Columns:
+ *   name seed mlpBurst computeRun fracL1 fracL2 fracRandom
+ *   l1ReuseLines l2ReuseLines randomLinesPerAccess
+ *
+ * Behavioural archetypes (per the paper's descriptions and the source
+ * suites' well-known characteristics):
+ *  - compute-bound, light memory:        LUD NW HISTO SAD QTC RED SCAN
+ *  - pure streaming, cache-insensitive:  BLK TRD SCP CONS FWT LUH
+ *  - streaming + some L2 reuse:          JPEG LIB CFD SRAD BP LPS SC HS
+ *  - cache-sensitive (L1+L2 reuse):      BFS FFT DS RAY
+ *  - uncoalesced random:                 GUPS
+ */
+const std::vector<AppProfile> &
+buildCatalog()
+{
+    static const std::vector<AppProfile> catalog = {
+        // --- Compute-bound group (low EB: G1) -----------------------
+        make("LUD", 101, 1, 30, 0.60, 0.00, 0.00, 8, 1024, 1),
+        make("NW", 102, 1, 24, 0.50, 0.10, 0.00, 8, 1024, 1),
+        make("HISTO", 103, 2, 28, 0.55, 0.15, 0.00, 12, 2048, 1),
+        make("SAD", 104, 2, 22, 0.50, 0.10, 0.00, 12, 1024, 1),
+        make("QTC", 105, 2, 20, 0.10, 0.10, 0.30, 8, 2048, 2),
+        make("RED", 106, 2, 18, 0.20, 0.00, 0.00, 8, 1024, 1, 1),
+        make("SCAN", 107, 2, 16, 0.25, 0.05, 0.00, 8, 1024, 1, 1),
+        make("GUPS", 108, 4, 6, 0.00, 0.00, 0.90, 8, 1024, 4),
+
+        // --- Streaming group (medium EB: G2) ------------------------
+        make("BLK", 201, 4, 6, 0.00, 0.00, 0.00, 8, 1024, 1, 1),
+        make("TRD", 202, 6, 8, 0.00, 0.00, 0.00, 8, 1024, 1, 3),
+        make("SCP", 203, 4, 8, 0.00, 0.05, 0.00, 8, 1024, 1, 1),
+        make("CONS", 204, 3, 10, 0.10, 0.05, 0.00, 8, 1024, 1, 1),
+        make("FWT", 205, 4, 7, 0.00, 0.10, 0.00, 8, 2048, 1, 1),
+        make("LUH", 206, 3, 9, 0.05, 0.10, 0.00, 8, 2048, 1, 1),
+
+        // --- Mixed stream + L2-reuse group (G3) ----------------------
+        make("JPEG", 301, 4, 8, 0.10, 0.45, 0.00, 12, 3072, 1),
+        make("LIB", 302, 3, 8, 0.10, 0.40, 0.00, 12, 2048, 1),
+        make("CFD", 303, 4, 10, 0.15, 0.35, 0.00, 12, 3072, 1),
+        make("SRAD", 304, 3, 10, 0.20, 0.30, 0.00, 12, 2048, 1, 1),
+        make("BP", 305, 3, 12, 0.20, 0.30, 0.00, 12, 2048, 1, 1),
+        make("LPS", 306, 3, 8, 0.25, 0.35, 0.00, 16, 2048, 1, 1),
+        make("SC", 307, 3, 9, 0.15, 0.35, 0.00, 12, 2048, 1),
+        make("HS", 308, 3, 11, 0.25, 0.30, 0.00, 16, 2048, 1, 1),
+
+        // --- Cache-sensitive group (high EB: G4) ---------------------
+        make("BFS", 401, 4, 6, 0.55, 0.30, 0.05, 24, 4096, 1),
+        make("FFT", 402, 4, 7, 0.40, 0.40, 0.00, 20, 4096, 1, 1),
+        make("DS", 403, 4, 8, 0.50, 0.35, 0.00, 24, 4096, 1),
+        make("RAY", 404, 3, 9, 0.45, 0.35, 0.00, 20, 3072, 1),
+    };
+    return catalog;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+appCatalog()
+{
+    return buildCatalog();
+}
+
+bool
+hasApp(const std::string &name)
+{
+    for (const AppProfile &p : appCatalog()) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    for (const AppProfile &p : appCatalog()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("appCatalog: unknown application '" + name + "'");
+}
+
+} // namespace ebm

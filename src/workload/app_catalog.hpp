@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Named catalog of the 26 applications from the paper's Table IV.
+ *
+ * Every profile is a synthetic stand-in tuned to match the qualitative
+ * behaviour the paper attributes to that application class: cache
+ * sensitivity (BFS, DS, FFT, ...), pure streaming (BLK, TRD, SCP),
+ * uncoalesced random access (GUPS, QTC), compute-bound (LUD, NW,
+ * HISTO, SAD), and mixtures. Absolute IPC/EB values are not copied
+ * from the paper; EXPERIMENTS.md records our measured values and the
+ * resulting G1-G4 grouping by EB quartile.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hpp"
+
+namespace ebm {
+
+/** Retrieve one application profile by its paper abbreviation. */
+const AppProfile &findApp(const std::string &name);
+
+/** All catalogued applications (Table IV order-ish). */
+const std::vector<AppProfile> &appCatalog();
+
+/** True if the catalog contains @p name. */
+bool hasApp(const std::string &name);
+
+} // namespace ebm

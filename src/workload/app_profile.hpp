@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Characterization of one synthetic GPGPU application.
+ *
+ * The paper evaluates 26 CUDA applications (Rodinia, Parboil, CUDA
+ * SDK, SHOC). We cannot ship those binaries or their GPGPU-Sim traces,
+ * so each application is replaced by a *procedural profile*: a small
+ * set of parameters (memory intensity, per-warp working sets, reuse
+ * mix, coalescing, memory-level parallelism) from which a
+ * deterministic per-warp instruction stream is generated. The
+ * TLP-vs-{IPC, BW, CMR, EB} shapes the paper's mechanisms exploit are
+ * functions of exactly these parameters, so the substitution preserves
+ * the behaviour under study (see DESIGN.md section 2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ebm {
+
+/** Where a load's address is drawn from. */
+enum class AccessCategory : std::uint8_t {
+    L1Reuse,  ///< Per-warp private working set (L1-sized reuse).
+    L2Reuse,  ///< Application-shared structure (L2-sized reuse).
+    Stream,   ///< Per-warp sequential stream (row-friendly, no reuse).
+    Random,   ///< Huge-region random access (cache/row hostile).
+};
+
+/** Parameters of one synthetic application. */
+struct AppProfile
+{
+    std::string name;   ///< Paper abbreviation, e.g. "BFS".
+    std::uint32_t seed = 0; ///< Deterministic stream seed.
+
+    // --- Instruction mix ---------------------------------------------
+    /**
+     * The warp program repeats: [mlpBurst loads] [1 dependent compute
+     * that waits for all pending loads] [computeRun computes]
+     * [storesPerLoop stores]. Memory intensity
+     * r_m = (mlpBurst + storesPerLoop) / loop length.
+     */
+    std::uint32_t mlpBurst = 4;
+    std::uint32_t computeRun = 8;
+    /**
+     * Write-through stores per loop iteration (fire-and-forget: they
+     * consume interconnect and DRAM bandwidth but no warp waits on
+     * them). Streaming kernels like triad are read/write mixes.
+     */
+    std::uint32_t storesPerLoop = 0;
+
+    // --- Load address mix (fractions sum to <= 1; remainder: Stream) --
+    double fracL1Reuse = 0.0;
+    double fracL2Reuse = 0.0;
+    double fracRandom = 0.0;
+
+    // --- Working-set geometry (in cache lines) -------------------------
+    std::uint32_t l1ReuseLines = 16;     ///< Per-warp private set.
+    std::uint32_t l2ReuseLines = 4096;   ///< App-shared structure.
+    std::uint32_t streamRegionLines = 1u << 18; ///< Per-warp stream wrap.
+    std::uint32_t randomRegionLines = 1u << 24; ///< Random region.
+
+    // --- Coalescing ----------------------------------------------------
+    /** Distinct cache lines touched by one Random-category load. */
+    std::uint32_t randomLinesPerAccess = 1;
+
+    /** Memory intensity r_m implied by the instruction mix. */
+    double
+    memFraction() const
+    {
+        return static_cast<double>(mlpBurst + storesPerLoop) /
+               static_cast<double>(mlpBurst + 1 + computeRun +
+                                   storesPerLoop);
+    }
+
+    double fracStream() const
+    {
+        return 1.0 - fracL1Reuse - fracL2Reuse - fracRandom;
+    }
+};
+
+} // namespace ebm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Procedural, deterministic instruction-stream generation.
+ *
+ * The instruction *types* of a warp program depend only on the
+ * application profile (all warps of a SIMT kernel run the same code);
+ * the *addresses* additionally depend on the warp's global id and the
+ * instruction index, via hash functions, so no trace storage is
+ * needed and results are bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "workload/app_profile.hpp"
+
+namespace ebm {
+
+/** One decoded warp instruction. */
+struct InstrDesc
+{
+    bool isLoad = false;
+    /** Write-through store (fire-and-forget; no warp waits on it). */
+    bool isStore = false;
+    /** Must all pending loads of this warp complete before issue? */
+    bool waitsForMem = false;
+    /** Distinct cache lines touched (loads only). */
+    std::uint32_t numLines = 1;
+    AccessCategory category = AccessCategory::Stream;
+};
+
+/** Address + instruction generator bound to one application profile. */
+class TraceGen
+{
+  public:
+    /**
+     * @param profile    application parameters
+     * @param line_bytes cache line size (addresses are line aligned)
+     * @param base       base of this app's address space; defaults to
+     *                   0 for single-app use — multi-app callers pass
+     *                   appAddressBase(app) so address spaces are
+     *                   disjoint
+     */
+    TraceGen(const AppProfile &profile, std::uint32_t line_bytes,
+             Addr base = 0);
+
+    /** Length of one iteration of the warp program. */
+    std::uint32_t loopLength() const { return loopLen_; }
+
+    /** Decode the instruction at @p idx (taken modulo the loop). */
+    InstrDesc instrAt(std::uint64_t idx) const;
+
+    /**
+     * Line-aligned address of micro-transaction @p line_idx of the
+     * load at @p idx issued by global warp @p gwarp.
+     *
+     * @param gwarp      globally unique warp id (core * warps + warp)
+     * @param idx        instruction index within the warp's stream
+     * @param line_idx   which of the load's numLines transactions
+     * @param stream_pos monotonically increasing per-warp stream
+     *                   counter (advanced by the caller per Stream
+     *                   transaction)
+     */
+    Addr lineAddr(std::uint64_t gwarp, std::uint64_t idx,
+                  std::uint32_t line_idx, std::uint64_t stream_pos) const;
+
+    const AppProfile &profile() const { return profile_; }
+
+  private:
+    AppProfile profile_;
+    std::uint32_t lineBytes_;
+    Addr base_;
+    std::uint32_t loopLen_;
+
+    // Address-space layout (byte offsets inside the app's space).
+    static constexpr Addr kPrivateBase = 0;
+    static constexpr Addr kPrivateStride = 1ull << 20;  ///< Per warp.
+    static constexpr Addr kStreamBase = 1ull << 34;
+    static constexpr Addr kStreamStride = 1ull << 26;   ///< Per warp.
+    static constexpr Addr kWriteBase = 1ull << 35;
+    static constexpr Addr kSharedBase = 1ull << 36;
+    static constexpr Addr kRandomBase = 1ull << 37;
+};
+
+/** Base of the private address space of application @p app. */
+inline constexpr Addr
+appAddressBase(AppId app)
+{
+    return (static_cast<Addr>(app) + 1) << 40;
+}
+
+} // namespace ebm

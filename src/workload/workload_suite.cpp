@@ -1,0 +1,82 @@
+#include "workload/workload_suite.hpp"
+
+#include "common/log.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace ebm {
+
+namespace {
+
+Workload
+pair(const std::string &a, const std::string &b)
+{
+    return Workload{a + "_" + b, {a, b}};
+}
+
+} // namespace
+
+Workload
+makePair(const std::string &a, const std::string &b)
+{
+    return pair(a, b);
+}
+
+const std::vector<Workload> &
+representativeWorkloads()
+{
+    // Verbatim from Figs. 4, 9, and 10 of the paper.
+    static const std::vector<Workload> workloads = {
+        pair("DS", "TRD"),  pair("BFS", "FFT"),  pair("BLK", "BFS"),
+        pair("BLK", "TRD"), pair("FFT", "TRD"),  pair("FWT", "TRD"),
+        pair("JPEG", "CFD"), pair("JPEG", "LIB"), pair("JPEG", "LUH"),
+        pair("SCP", "TRD"),
+    };
+    return workloads;
+}
+
+const std::vector<Workload> &
+fullSuite()
+{
+    // 25 pairs over 16 apps: the 10 representative pairs plus 15 more
+    // mixing the four EB groups (compute-bound / streaming / mixed /
+    // cache-sensitive).
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> v = representativeWorkloads();
+        const std::vector<std::pair<std::string, std::string>> extra = {
+            {"BFS", "TRD"}, {"BFS", "JPEG"}, {"DS", "BLK"},
+            {"DS", "FFT"},  {"FFT", "BLK"},  {"RAY", "BLK"},
+            {"SCP", "BLK"}, {"SCP", "JPEG"}, {"SRAD", "TRD"},
+            {"LIB", "LUH"}, {"LPS", "CFD"},  {"GUPS", "BLK"},
+            {"GUPS", "BFS"}, {"HISTO", "TRD"}, {"HISTO", "BFS"},
+        };
+        for (const auto &[a, b] : extra)
+            v.push_back(pair(a, b));
+        return v;
+    }();
+    return workloads;
+}
+
+const std::vector<Workload> &
+threeAppWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"BLK_BFS_TRD", {"BLK", "BFS", "TRD"}},
+        {"JPEG_CFD_LIB", {"JPEG", "CFD", "LIB"}},
+        {"DS_FWT_SCP", {"DS", "FWT", "SCP"}},
+    };
+    return workloads;
+}
+
+std::vector<AppProfile>
+resolveApps(const Workload &wl)
+{
+    if (wl.appNames.empty())
+        fatal("resolveApps: workload '" + wl.name + "' has no apps");
+    std::vector<AppProfile> apps;
+    apps.reserve(wl.appNames.size());
+    for (const std::string &name : wl.appNames)
+        apps.push_back(findApp(name));
+    return apps;
+}
+
+} // namespace ebm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The evaluated multi-application workloads.
+ *
+ * The paper studies 25 two-application workloads spanning 16
+ * applications, and reports per-workload numbers for 10 representative
+ * pairs (Figs. 4, 9, 10). We keep the representative list verbatim and
+ * complete the suite to 25 pairs drawn from the same 16 apps with a
+ * spread of group combinations.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hpp"
+
+namespace ebm {
+
+/** A named multi-application workload. */
+struct Workload
+{
+    std::string name;                    ///< e.g. "BFS_FFT".
+    std::vector<std::string> appNames;   ///< Catalog abbreviations.
+};
+
+/** The 10 representative two-app workloads (paper Figs. 4/9/10). */
+const std::vector<Workload> &representativeWorkloads();
+
+/** The full 25-pair evaluated suite. */
+const std::vector<Workload> &fullSuite();
+
+/** Three-application mixes for the Section VI-D sensitivity study. */
+const std::vector<Workload> &threeAppWorkloads();
+
+/** Resolve a workload's applications against the catalog. */
+std::vector<AppProfile> resolveApps(const Workload &wl);
+
+/** Build an ad-hoc two-application workload. */
+Workload makePair(const std::string &a, const std::string &b);
+
+} // namespace ebm

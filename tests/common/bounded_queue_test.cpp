@@ -1,0 +1,123 @@
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+TEST(BoundedQueue, StartsEmpty)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, FullAtCapacity)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    EXPECT_FALSE(q.full());
+    q.push(2);
+    EXPECT_TRUE(q.full());
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front(), 1);
+}
+
+TEST(BoundedQueue, ExtractFromMiddle)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        q.push(i);
+    auto it = q.begin();
+    ++it;
+    ++it; // Points at 2.
+    EXPECT_EQ(q.extract(it), 2);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.pop(), 0);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(BoundedQueue, ClearEmpties)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.tryPush(9));
+    EXPECT_EQ(q.front(), 9);
+}
+
+TEST(BoundedQueue, IterationSeesAllElements)
+{
+    BoundedQueue<int> q(8);
+    int sum_in = 0;
+    for (int i = 1; i <= 6; ++i) {
+        q.push(i);
+        sum_in += i;
+    }
+    int sum_out = 0;
+    for (int v : q)
+        sum_out += v;
+    EXPECT_EQ(sum_out, sum_in);
+}
+
+TEST(BoundedQueueDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_DEATH({ BoundedQueue<int> q(0); }, "capacity");
+}
+
+TEST(BoundedQueueDeath, PushFullPanics)
+{
+    BoundedQueue<int> q(1);
+    q.push(1);
+    EXPECT_DEATH(q.push(2), "full");
+}
+
+TEST(BoundedQueueDeath, PopEmptyPanics)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_DEATH(q.pop(), "empty");
+}
+
+TEST(BoundedQueueDeath, FrontEmptyPanics)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_DEATH(q.front(), "empty");
+}
+
+TEST(BoundedQueue, MoveOnlyPayload)
+{
+    BoundedQueue<std::unique_ptr<int>> q(2);
+    q.push(std::make_unique<int>(42));
+    auto p = q.pop();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 42);
+}
+
+} // namespace
+} // namespace ebm

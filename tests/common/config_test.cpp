@@ -1,0 +1,108 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+TEST(GpuConfig, DefaultsValidate)
+{
+    GpuConfig cfg;
+    cfg.validate(); // Must not exit.
+    SUCCEED();
+}
+
+TEST(GpuConfig, TinyConfigValidates)
+{
+    test::tinyConfig(2).validate();
+    SUCCEED();
+}
+
+TEST(GpuConfig, TlpLevelsAscendingAndSixtyFourCombos)
+{
+    const auto &levels = GpuConfig::tlpLevels();
+    EXPECT_EQ(levels.size(), 8u) << "8 levels -> 64 two-app combos";
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(levels[i - 1], levels[i]);
+    EXPECT_EQ(levels.front(), 1u);
+}
+
+TEST(GpuConfig, MaxTlpMatchesWarpAndSchedulerCounts)
+{
+    GpuConfig cfg;
+    EXPECT_EQ(cfg.maxTlp(),
+              cfg.maxWarpsPerCore / cfg.schedulersPerCore);
+    EXPECT_EQ(GpuConfig::tlpLevels().back(), cfg.maxTlp())
+        << "the top TLP level is maxTLP";
+}
+
+TEST(GpuConfig, CoresPerAppEqualSplit)
+{
+    GpuConfig cfg;
+    cfg.numCores = 16;
+    cfg.numApps = 2;
+    EXPECT_EQ(cfg.coresPerApp(), 8u);
+    cfg.numApps = 4;
+    EXPECT_EQ(cfg.coresPerApp(), 4u);
+}
+
+TEST(GpuConfig, PeakBandwidthScalesWithPartitions)
+{
+    GpuConfig cfg;
+    const double base = cfg.peakBytesPerCoreCycle();
+    cfg.numPartitions *= 2;
+    EXPECT_DOUBLE_EQ(cfg.peakBytesPerCoreCycle(), 2.0 * base);
+}
+
+TEST(GpuConfig, PeakBandwidthPositive)
+{
+    EXPECT_GT(GpuConfig{}.peakBytesPerCoreCycle(), 0.0);
+}
+
+TEST(CacheGeometry, NumSets)
+{
+    CacheGeometry g{16 * 1024, 4, 128, 32, 8};
+    EXPECT_EQ(g.numSets(), 32u);
+}
+
+TEST(GpuConfigDeath, UnevenCoreSplitIsFatal)
+{
+    GpuConfig cfg;
+    cfg.numCores = 15;
+    cfg.numApps = 2;
+    EXPECT_DEATH(cfg.validate(), "divide evenly");
+}
+
+TEST(GpuConfigDeath, ZeroAppsIsFatal)
+{
+    GpuConfig cfg;
+    cfg.numApps = 0;
+    EXPECT_DEATH(cfg.validate(), "numApps");
+}
+
+TEST(GpuConfigDeath, MismatchedLineSizesAreFatal)
+{
+    GpuConfig cfg;
+    cfg.l1.lineBytes = 64;
+    EXPECT_DEATH(cfg.validate(), "line sizes");
+}
+
+TEST(GpuConfigDeath, InterleaveSmallerThanLineIsFatal)
+{
+    GpuConfig cfg;
+    cfg.interleaveBytes = 64;
+    EXPECT_DEATH(cfg.validate(), "interleave");
+}
+
+TEST(GpuConfigDeath, BankGroupMismatchIsFatal)
+{
+    GpuConfig cfg;
+    cfg.banksPerChannel = 10;
+    cfg.bankGroups = 4;
+    EXPECT_DEATH(cfg.validate(), "bank groups");
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,72 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.sinceCheckpoint(), 0u);
+}
+
+TEST(Counter, AccumulatesAndWindows)
+{
+    Counter c;
+    c.add(3);
+    c.add();
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_EQ(c.sinceCheckpoint(), 4u);
+
+    c.checkpoint();
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_EQ(c.sinceCheckpoint(), 0u);
+
+    c.add(2);
+    EXPECT_EQ(c.total(), 6u);
+    EXPECT_EQ(c.sinceCheckpoint(), 2u);
+}
+
+TEST(Counter, ResetClearsEverything)
+{
+    Counter c;
+    c.add(5);
+    c.checkpoint();
+    c.add(2);
+    c.reset();
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.sinceCheckpoint(), 0u);
+}
+
+TEST(Ratios, WindowRatioBasic)
+{
+    Counter num, den;
+    num.add(3);
+    den.add(6);
+    EXPECT_DOUBLE_EQ(windowRatio(num, den), 0.5);
+}
+
+TEST(Ratios, WindowRatioUsesWindowOnly)
+{
+    Counter num, den;
+    num.add(10);
+    den.add(10);
+    num.checkpoint();
+    den.checkpoint();
+    num.add(1);
+    den.add(4);
+    EXPECT_DOUBLE_EQ(windowRatio(num, den), 0.25);
+    EXPECT_DOUBLE_EQ(totalRatio(num, den), 11.0 / 14.0);
+}
+
+TEST(Ratios, FallbackOnEmptyDenominator)
+{
+    Counter num, den;
+    EXPECT_DOUBLE_EQ(windowRatio(num, den, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(totalRatio(num, den, 0.25), 0.25);
+}
+
+} // namespace
+} // namespace ebm

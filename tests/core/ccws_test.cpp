@@ -1,0 +1,114 @@
+#include "core/ccws.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/eb_monitor.hpp"
+
+namespace ebm {
+namespace {
+
+void
+drive(Gpu &gpu, TlpPolicy &policy, std::uint32_t windows,
+      Cycle window_len = 500)
+{
+    EbMonitor mon(gpu, EbMonitor::Mode::DesignatedUnits);
+    policy.onRunStart(gpu);
+    gpu.checkpoint();
+    for (std::uint32_t w = 0; w < windows; ++w) {
+        gpu.run(window_len);
+        const EbSample sample = mon.closeWindow(gpu.now());
+        policy.onWindow(gpu, gpu.now(), sample);
+        gpu.checkpoint();
+    }
+}
+
+/** A cache-sensitive app whose working set overflows the tiny L1. */
+AppProfile
+thrashApp()
+{
+    AppProfile p = test::cacheApp("THRASH", 23);
+    p.fracL1Reuse = 0.9;
+    p.fracL2Reuse = 0.05;
+    p.l1ReuseLines = 16; // 2 warps/sched x 8 TLP x 16 lines >> L1.
+    return p;
+}
+
+TEST(Ccws, StartsAtInitialTlp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {thrashApp(), test::computeApp()});
+    Ccws::Params params;
+    params.initialTlp = 6;
+    Ccws policy(params);
+    policy.onRunStart(gpu);
+    EXPECT_EQ(gpu.appTlp(0), 6u);
+    EXPECT_EQ(gpu.appTlp(1), 6u);
+}
+
+TEST(Ccws, ThrottlesCacheThrashingApp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {thrashApp(), test::computeApp()});
+    Ccws policy;
+    drive(gpu, policy, 20);
+    EXPECT_LT(gpu.appTlp(0), 8u)
+        << "lost locality must throttle the thrashing app";
+}
+
+TEST(Ccws, LeavesComputeBoundAppUnthrottled)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {thrashApp(), test::computeApp()});
+    Ccws policy;
+    drive(gpu, policy, 20);
+    EXPECT_GE(gpu.appTlp(1), 8u)
+        << "an L1-resident app shows no lost locality";
+}
+
+TEST(Ccws, StreamingAppIsNotThrottled)
+{
+    // Pure streams never re-reference lines, so the victim tags never
+    // hit: CCWS sees no lost locality and raises TLP instead.
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::computeApp()});
+    Ccws policy;
+    drive(gpu, policy, 12);
+    EXPECT_GE(gpu.appTlp(0), 8u);
+    EXPECT_NEAR(policy.lastLlki(0), 0.0, 0.2);
+}
+
+TEST(Ccws, LlkiSignalIsHigherForThrashingApp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {thrashApp(), test::streamingApp()});
+    Ccws::Params params;
+    params.llkiHigh = 1e9; // Disable throttling: observe raw signal.
+    params.llkiLow = -1.0;
+    Ccws policy(params);
+    drive(gpu, policy, 10);
+    EXPECT_GT(policy.lastLlki(0), policy.lastLlki(1))
+        << "reuse-heavy app loses locality; stream does not";
+}
+
+TEST(Ccws, StaysOnConfiguredLadder)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {thrashApp(), test::streamingApp()});
+    Ccws policy;
+    drive(gpu, policy, 25);
+    for (AppId app = 0; app < 2; ++app) {
+        bool on_ladder = false;
+        for (std::uint32_t level : GpuConfig::tlpLevels())
+            on_ladder |= (level == gpu.appTlp(app));
+        EXPECT_TRUE(on_ladder);
+    }
+}
+
+TEST(Ccws, NameIsPaperName)
+{
+    EXPECT_EQ(Ccws().name(), "++CCWS");
+}
+
+} // namespace
+} // namespace ebm

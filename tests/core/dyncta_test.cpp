@@ -1,0 +1,100 @@
+#include "core/dyncta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/eb_monitor.hpp"
+
+namespace ebm {
+namespace {
+
+/** Run @p windows sampling windows under @p policy. */
+void
+drive(Gpu &gpu, TlpPolicy &policy, std::uint32_t windows,
+      Cycle window_len = 500)
+{
+    EbMonitor mon(gpu, EbMonitor::Mode::DesignatedUnits);
+    policy.onRunStart(gpu);
+    gpu.checkpoint();
+    for (std::uint32_t w = 0; w < windows; ++w) {
+        gpu.run(window_len);
+        const EbSample sample = mon.closeWindow(gpu.now());
+        policy.onWindow(gpu, gpu.now(), sample);
+        gpu.checkpoint();
+    }
+}
+
+TEST(DynCta, StartsAtInitialTlp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    DynCta::Params params;
+    params.initialTlp = 6;
+    DynCta policy(params);
+    policy.onRunStart(gpu);
+    EXPECT_EQ(gpu.appTlp(0), 6u);
+    EXPECT_EQ(gpu.appTlp(1), 6u);
+}
+
+TEST(DynCta, ThrottlesMemorySaturatedApp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp("S1", 3), test::streamingApp("S2", 5)});
+    DynCta::Params params;
+    params.initialTlp = 8;
+    DynCta policy(params);
+    drive(gpu, policy, 20);
+    // Two streaming co-runners saturate memory; DynCTA should back at
+    // least one of them off its initial TLP.
+    EXPECT_LT(std::min(gpu.appTlp(0), gpu.appTlp(1)), 8u);
+}
+
+TEST(DynCta, RaisesTlpForComputeBoundApp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::computeApp("C1", 3), test::computeApp("C2", 5)});
+    DynCta::Params params;
+    params.initialTlp = 2;
+    DynCta policy(params);
+    drive(gpu, policy, 20);
+    EXPECT_GT(gpu.appTlp(0), 2u)
+        << "compute-bound cores are busy, not memory-waiting";
+}
+
+TEST(DynCta, StepsStayOnConfiguredLadder)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    DynCta policy;
+    drive(gpu, policy, 30);
+    const auto &levels = GpuConfig::tlpLevels();
+    for (AppId app = 0; app < 2; ++app) {
+        const std::uint32_t tlp = gpu.appTlp(app);
+        bool on_ladder = false;
+        for (std::uint32_t level : levels)
+            on_ladder |= (level == tlp);
+        EXPECT_TRUE(on_ladder) << "tlp " << tlp;
+    }
+}
+
+TEST(DynCta, NameIsPaperName)
+{
+    EXPECT_EQ(DynCta().name(), "++DynCTA");
+}
+
+TEST(DynCta, LocalOnlyNeverReadsCoRunnerState)
+{
+    // Behavioural contract: identical local conditions produce the
+    // same decision regardless of the co-runner's profile name.
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu_a(cfg, {test::computeApp("C", 3), test::streamingApp("S", 5)});
+    Gpu gpu_b(cfg, {test::computeApp("C", 3), test::streamingApp("X", 5)});
+    DynCta pa, pb;
+    drive(gpu_a, pa, 10);
+    drive(gpu_b, pb, 10);
+    EXPECT_EQ(gpu_a.appTlp(0), gpu_b.appTlp(0))
+        << "same seed co-runner, same local signal";
+}
+
+} // namespace
+} // namespace ebm

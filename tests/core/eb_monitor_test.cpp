@@ -1,0 +1,122 @@
+#include "core/eb_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+class EbMonitorTest : public ::testing::Test
+{
+  protected:
+    EbMonitorTest()
+        : cfg_(test::tinyConfig(2)),
+          gpu_(cfg_, {test::streamingApp(), test::cacheApp()})
+    {
+    }
+
+    GpuConfig cfg_;
+    Gpu gpu_;
+};
+
+TEST_F(EbMonitorTest, SampleHasOneEntryPerApp)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits);
+    gpu_.run(2000);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_EQ(sample.apps.size(), 2u);
+    EXPECT_EQ(sample.tlp.size(), 2u);
+}
+
+TEST_F(EbMonitorTest, SampleReflectsCurrentTlp)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits);
+    gpu_.setAppTlp(0, 2);
+    gpu_.setAppTlp(1, 6);
+    gpu_.run(1000);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_EQ(sample.tlp[0], 2u);
+    EXPECT_EQ(sample.tlp[1], 6u);
+}
+
+TEST_F(EbMonitorTest, StreamingAppHasUnitCmr)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits);
+    gpu_.run(4000);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_DOUBLE_EQ(sample.apps[0].l1Mr, 1.0);
+    EXPECT_NEAR(sample.apps[0].cmr(), 1.0, 1e-9);
+    EXPECT_NEAR(sample.apps[0].eb(), sample.apps[0].bw, 1e-9);
+}
+
+TEST_F(EbMonitorTest, CacheAppAmplifiesBandwidth)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits);
+    gpu_.run(6000);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_GT(sample.apps[1].eb(), sample.apps[1].bw)
+        << "CMR < 1 makes EB exceed attained BW";
+}
+
+TEST_F(EbMonitorTest, WindowsAreIndependent)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits);
+    gpu_.run(3000);
+    mon.closeWindow(gpu_.now());
+    gpu_.checkpoint();
+
+    // Freeze app 0: its next window must show ~zero bandwidth.
+    gpu_.setAppTlp(0, 1);
+    gpu_.run(10);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_LT(sample.apps[0].bw, 0.9) << "short quiet window";
+}
+
+TEST_F(EbMonitorTest, DesignatedTracksFullMachine)
+{
+    // The paper's observation: miss rates and bandwidth are uniform
+    // enough across units that one designated core/partition per app
+    // suffices. Verify both modes agree for steady workloads.
+    EbMonitor designated(gpu_, EbMonitor::Mode::DesignatedUnits);
+    EbMonitor full(gpu_, EbMonitor::Mode::FullMachine);
+    gpu_.run(12'000);
+    const EbSample d = designated.closeWindow(gpu_.now());
+    const EbSample f = full.closeWindow(gpu_.now());
+    for (AppId app = 0; app < 2; ++app) {
+        EXPECT_NEAR(d.apps[app].l1Mr, f.apps[app].l1Mr, 0.12);
+        EXPECT_NEAR(d.apps[app].l2Mr, f.apps[app].l2Mr, 0.12);
+        EXPECT_NEAR(d.apps[app].bw, f.apps[app].bw,
+                    0.25 * std::max(f.apps[app].bw, 0.05));
+    }
+}
+
+TEST_F(EbMonitorTest, TotalBwIsSumOfApps)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::FullMachine);
+    gpu_.run(4000);
+    const EbSample sample = mon.closeWindow(gpu_.now());
+    EXPECT_NEAR(sample.totalBw,
+                sample.apps[0].bw + sample.apps[1].bw, 1e-12);
+}
+
+TEST_F(EbMonitorTest, RelayLatencyDelaysAvailability)
+{
+    EbMonitor mon(gpu_, EbMonitor::Mode::DesignatedUnits, 100);
+    EXPECT_EQ(mon.sampleReadyAt(5000), 5100u);
+    EXPECT_EQ(mon.relayLatency(), 100u);
+}
+
+TEST(EbMonitorCost, MatchesPaperAccounting)
+{
+    // Section V-E: two 32-bit registers per core; three 32-bit plus
+    // one 5-bit register per partition per app; 64-byte table.
+    const auto cost = EbMonitor::hardwareCost(2);
+    EXPECT_EQ(cost.bitsPerCore, 64u);
+    EXPECT_EQ(cost.bitsPerPartition, 2u * 101u);
+    EXPECT_EQ(cost.relayBitsPerWindow, 192u);
+    EXPECT_EQ(cost.samplingTableBytes, 64u);
+}
+
+} // namespace
+} // namespace ebm

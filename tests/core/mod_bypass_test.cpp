@@ -1,0 +1,103 @@
+#include "core/mod_bypass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/eb_monitor.hpp"
+
+namespace ebm {
+namespace {
+
+void
+drive(Gpu &gpu, TlpPolicy &policy, std::uint32_t windows,
+      Cycle window_len = 500)
+{
+    EbMonitor mon(gpu, EbMonitor::Mode::DesignatedUnits);
+    policy.onRunStart(gpu);
+    gpu.checkpoint();
+    for (std::uint32_t w = 0; w < windows; ++w) {
+        gpu.run(window_len);
+        const EbSample sample = mon.closeWindow(gpu.now());
+        policy.onWindow(gpu, gpu.now(), sample);
+        gpu.checkpoint();
+    }
+}
+
+TEST(ModBypass, BypassesTheStreamingApp)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    ModBypass policy;
+    drive(gpu, policy, 12);
+    EXPECT_TRUE(policy.bypassing(0))
+        << "pure streaming app gains nothing from caches";
+    EXPECT_TRUE(gpu.core(gpu.coresOf(0).front()).l1Bypass());
+    EXPECT_TRUE(gpu.core(gpu.coresOf(0).front()).l2Bypass());
+}
+
+TEST(ModBypass, LeavesCacheFriendlyAppAlone)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    // A slightly larger L1 keeps the cache-friendly app's working set
+    // resident at the modulated TLP, so only genuine insensitivity
+    // (not capacity pressure) can trigger the bypass.
+    cfg.l1.sizeBytes = 16 * 1024;
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    ModBypass policy;
+    drive(gpu, policy, 12);
+    EXPECT_FALSE(policy.bypassing(1));
+    EXPECT_FALSE(gpu.core(gpu.coresOf(1).front()).l1Bypass());
+}
+
+TEST(ModBypass, HysteresisRequiresSustainedEvidence)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    ModBypass::Params params;
+    params.confirmWindows = 3;
+    ModBypass policy(params);
+    drive(gpu, policy, 2);
+    EXPECT_FALSE(policy.bypassing(0))
+        << "not enough windows of evidence yet";
+    drive(gpu, policy, 0); // no-op; state kept
+}
+
+TEST(ModBypass, AlsoModulatesTlp)
+{
+    // The scheme embeds DynCTA-style modulation: under memory
+    // saturation at least one app's TLP must move off the initial.
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp("S1", 3),
+                  test::streamingApp("S2", 5)});
+    ModBypass::Params params;
+    params.modulation.initialTlp = 8;
+    ModBypass policy(params);
+    drive(gpu, policy, 20);
+    EXPECT_LT(std::min(gpu.appTlp(0), gpu.appTlp(1)), 8u);
+}
+
+TEST(ModBypass, NameIsPaperName)
+{
+    EXPECT_EQ(ModBypass().name(), "Mod+Bypass");
+}
+
+TEST(ModBypass, BypassImprovesCacheSensitiveCoRunnerL2)
+{
+    // With the streaming app bypassing the L2, the cache-sensitive
+    // co-runner should retain more L2 capacity (lower L2 miss rate)
+    // than without bypassing.
+    GpuConfig cfg = test::tinyConfig(2);
+
+    Gpu with(cfg, {test::streamingApp(), test::cacheApp()});
+    with.setAppL1Bypass(0, true);
+    with.setAppL2Bypass(0, true);
+    with.run(8000);
+
+    Gpu without(cfg, {test::streamingApp(), test::cacheApp()});
+    without.run(8000);
+
+    EXPECT_LE(with.appL2MissRate(1), without.appL2MissRate(1) + 0.02);
+}
+
+} // namespace
+} // namespace ebm

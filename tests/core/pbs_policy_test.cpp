@@ -1,0 +1,153 @@
+#include "core/pbs_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/eb_monitor.hpp"
+
+namespace ebm {
+namespace {
+
+void
+drive(Gpu &gpu, TlpPolicy &policy, std::uint32_t windows,
+      Cycle window_len = 400, bool start = true)
+{
+    EbMonitor mon(gpu, EbMonitor::Mode::DesignatedUnits);
+    if (start)
+        policy.onRunStart(gpu);
+    gpu.checkpoint();
+    for (std::uint32_t w = 0; w < windows; ++w) {
+        gpu.run(window_len);
+        const EbSample sample = mon.closeWindow(gpu.now());
+        policy.onWindow(gpu, gpu.now(), sample);
+        gpu.checkpoint();
+    }
+}
+
+PbsPolicy
+wsPolicy()
+{
+    PbsPolicy::Params params;
+    params.objective = EbObjective::WS;
+    return PbsPolicy(params);
+}
+
+TEST(PbsPolicy, NamesFollowObjective)
+{
+    PbsPolicy::Params p;
+    p.objective = EbObjective::WS;
+    EXPECT_EQ(PbsPolicy(p).name(), "PBS-WS");
+    p.objective = EbObjective::FI;
+    EXPECT_EQ(PbsPolicy(p).name(), "PBS-FI");
+    p.objective = EbObjective::HS;
+    EXPECT_EQ(PbsPolicy(p).name(), "PBS-HS");
+}
+
+TEST(PbsPolicy, ConvergesWithinBudget)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    drive(gpu, policy, 30);
+    EXPECT_TRUE(policy.converged());
+    EXPECT_LT(policy.samplesTaken(), 30u);
+    EXPECT_GT(policy.samplesTaken(), 5u);
+}
+
+TEST(PbsPolicy, AppliesSearchCombosToTheGpu)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    policy.onRunStart(gpu);
+    // Probing starts immediately: some combo is applied.
+    EXPECT_FALSE(policy.currentCombo().empty());
+    EXPECT_EQ(gpu.appTlp(0), policy.currentCombo()[0]);
+    EXPECT_EQ(gpu.appTlp(1), policy.currentCombo()[1]);
+}
+
+TEST(PbsPolicy, TimelineRecordsChanges)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    drive(gpu, policy, 30);
+    EXPECT_GT(policy.timeline().size(), 3u)
+        << "the search visits several combos";
+    // Timeline cycles are non-decreasing.
+    for (std::size_t i = 1; i < policy.timeline().size(); ++i) {
+        EXPECT_LE(policy.timeline()[i - 1].first,
+                  policy.timeline()[i].first);
+    }
+}
+
+TEST(PbsPolicy, HoldsComboAfterConvergence)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    drive(gpu, policy, 30);
+    ASSERT_TRUE(policy.converged());
+    const TlpCombo held = policy.currentCombo();
+    const auto timeline_len = policy.timeline().size();
+    drive(gpu, policy, 5, 400, /*start=*/false);
+    EXPECT_EQ(policy.currentCombo(), held);
+    EXPECT_EQ(policy.timeline().size(), timeline_len);
+}
+
+TEST(PbsPolicy, KernelRelaunchRestartsSearch)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    drive(gpu, policy, 30);
+    ASSERT_TRUE(policy.converged());
+    policy.onKernelRelaunch(gpu, gpu.now());
+    EXPECT_FALSE(policy.converged())
+        << "paper: PBS restarts when any kernel is re-launched";
+}
+
+TEST(PbsPolicy, ReverifyWindowsReopensSearch)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy::Params params;
+    params.objective = EbObjective::WS;
+    params.reverifyWindows = 4;
+    PbsPolicy policy(params);
+    drive(gpu, policy, 30);
+    const auto samples_at_convergence = policy.samplesTaken();
+    drive(gpu, policy, 10, 400, /*start=*/false);
+    EXPECT_GT(policy.samplesTaken(), samples_at_convergence)
+        << "periodic re-verification keeps sampling";
+}
+
+TEST(PbsPolicy, FiVariantUsesSampledScaling)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy::Params params;
+    params.objective = EbObjective::FI;
+    params.scaling = ScalingMode::SampledAlone;
+    PbsPolicy policy(params);
+    drive(gpu, policy, 36);
+    EXPECT_TRUE(policy.converged());
+}
+
+TEST(PbsPolicy, ConvergedComboOnConfiguredLadder)
+{
+    GpuConfig cfg = test::tinyConfig(2);
+    Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    PbsPolicy policy = wsPolicy();
+    drive(gpu, policy, 30);
+    ASSERT_TRUE(policy.converged());
+    for (std::uint32_t tlp : policy.currentCombo()) {
+        bool on_ladder = false;
+        for (std::uint32_t level : GpuConfig::tlpLevels())
+            on_ladder |= (level == tlp);
+        EXPECT_TRUE(on_ladder);
+    }
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,303 @@
+#include "core/pbs_search.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+using Landscape =
+    std::function<std::vector<double>(const TlpCombo &)>; // per-app EB.
+
+const std::vector<std::uint32_t> kLevels = {1, 2, 4, 6, 8, 12, 16, 24};
+
+/** Drive a search to completion over a synthetic EB landscape. */
+TlpCombo
+solve(PbsSearch &search, const Landscape &land)
+{
+    while (!search.done()) {
+        const auto combo = search.nextCombo();
+        EXPECT_TRUE(combo.has_value());
+        EbSample sample;
+        sample.tlp = *combo;
+        const auto ebs = land(*combo);
+        sample.apps.resize(ebs.size());
+        for (std::size_t a = 0; a < ebs.size(); ++a) {
+            sample.apps[a].bw = ebs[a];
+            sample.apps[a].l1Mr = 1.0;
+            sample.apps[a].l2Mr = 1.0; // eb == bw.
+            sample.totalBw += ebs[a];
+        }
+        search.observe(sample);
+    }
+    return search.best();
+}
+
+/** Exhaustive argmax over the synthetic landscape for comparison. */
+TlpCombo
+bruteForce(const Landscape &land,
+           const std::function<double(const std::vector<double> &)> &obj,
+           std::uint32_t num_apps = 2)
+{
+    TlpCombo best;
+    double best_val = -1e300;
+    std::vector<std::size_t> idx(num_apps, 0);
+    while (true) {
+        TlpCombo combo(num_apps);
+        for (std::uint32_t a = 0; a < num_apps; ++a)
+            combo[a] = kLevels[idx[a]];
+        const double v = obj(land(combo));
+        if (v > best_val) {
+            best_val = v;
+            best = combo;
+        }
+        std::uint32_t pos = 0;
+        while (pos < num_apps) {
+            if (++idx[pos] < kLevels.size())
+                break;
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == num_apps)
+            break;
+    }
+    return best;
+}
+
+double
+sum(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s;
+}
+
+/**
+ * A paper-like landscape: app 0 is critical — its EB collapses past an
+ * inflection TLP regardless of app 1's TLP (the "pattern"); app 1
+ * gently saturates.
+ */
+std::vector<double>
+patternLandscape(const TlpCombo &c)
+{
+    const double t0 = c[0], t1 = c[1];
+    // App 0: rises to its inflection at 4, then collapses.
+    const double eb0 =
+        t0 <= 4 ? 0.2 + 0.1 * t0 : std::max(0.1, 0.6 - 0.05 * t0);
+    // App 1: saturating growth, mildly suppressed by app 0's TLP.
+    const double eb1 = (0.8 * t1 / (t1 + 4.0)) * (1.0 - 0.01 * t0);
+    return {eb0, eb1};
+}
+
+TEST(ProbeLadder, GeometricSubsetWithTop)
+{
+    const auto ladder = PbsSearch::probeLadder(kLevels);
+    EXPECT_EQ(ladder, (std::vector<std::uint32_t>{1, 2, 4, 8, 16, 24}));
+}
+
+TEST(ProbeLadder, AlwaysIncludesTopLevel)
+{
+    const auto ladder = PbsSearch::probeLadder({1, 2, 3});
+    EXPECT_EQ(ladder.back(), 3u);
+}
+
+TEST(PbsSearch, IdentifiesCriticalApp)
+{
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    solve(search, patternLandscape);
+    EXPECT_EQ(search.criticalApp(), 0u)
+        << "app 0 has the sharp EB-WS drop";
+}
+
+TEST(PbsSearch, FindsNearOptimalWsCombo)
+{
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, patternLandscape);
+    const TlpCombo want = bruteForce(patternLandscape, sum);
+    const double got_val = sum(patternLandscape(got));
+    const double want_val = sum(patternLandscape(want));
+    EXPECT_GE(got_val, 0.97 * want_val)
+        << "PBS within 3% of exhaustive search";
+}
+
+TEST(PbsSearch, UsesFarFewerSamplesThanExhaustive)
+{
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    solve(search, patternLandscape);
+    EXPECT_LT(search.samplesTaken(), 25u);
+    EXPECT_GT(search.samplesTaken(), 5u);
+}
+
+TEST(PbsSearch, CriticalAppSwapsWithLandscape)
+{
+    // Mirror the landscape: now app 1 is critical.
+    const Landscape mirrored = [](const TlpCombo &c) {
+        const auto v = patternLandscape({c[1], c[0]});
+        return std::vector<double>{v[1], v[0]};
+    };
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    solve(search, mirrored);
+    EXPECT_EQ(search.criticalApp(), 1u);
+}
+
+TEST(PbsSearch, MonotoneLandscapePicksHighLevels)
+{
+    // No inflection anywhere: both apps just like more TLP.
+    const Landscape rising = [](const TlpCombo &c) {
+        return std::vector<double>{0.3 * c[0] / (c[0] + 8.0),
+                                   0.3 * c[1] / (c[1] + 8.0)};
+    };
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, rising);
+    const double got_val = sum(rising(got));
+    const double want_val = sum(rising(bruteForce(rising, sum)));
+    EXPECT_GE(got_val, 0.95 * want_val);
+}
+
+TEST(PbsSearch, FiObjectiveBalancesEbs)
+{
+    // App 0's EB rises with its TLP; app 1's falls with app 0's TLP.
+    const Landscape see_saw = [](const TlpCombo &c) {
+        return std::vector<double>{0.05 * c[0],
+                                   0.6 - 0.02 * c[0] +
+                                       0.002 * c[1]};
+    };
+    PbsSearch search(EbObjective::FI, 2, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, see_saw);
+    const auto ebs = see_saw(got);
+    const double fi = std::min(ebs[0], ebs[1]) /
+                      std::max(ebs[0], ebs[1]);
+    EXPECT_GT(fi, 0.6) << "search should land near balance";
+}
+
+TEST(PbsSearch, SampledAloneScalingProbesQuietCoRunners)
+{
+    PbsSearch search(EbObjective::FI, 2, kLevels,
+                     ScalingMode::SampledAlone);
+    // First two probes must be the near-alone combos.
+    const auto first = search.nextCombo();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ((*first)[0], 4u);
+    EXPECT_EQ((*first)[1], 1u);
+    solve(search, patternLandscape);
+    // Scale factors picked up from the probes (non-default).
+    EXPECT_NE(search.scaleFactors()[0], 1.0);
+    EXPECT_NE(search.scaleFactors()[1], 1.0);
+}
+
+TEST(PbsSearch, UserGroupScalingUsedDirectly)
+{
+    PbsSearch search(EbObjective::FI, 2, kLevels,
+                     ScalingMode::UserGroup, {2.0, 0.5});
+    EXPECT_EQ(search.scaleFactors(),
+              (std::vector<double>{2.0, 0.5}));
+}
+
+TEST(PbsSearch, HsObjectiveConverges)
+{
+    PbsSearch search(EbObjective::HS, 2, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, patternLandscape);
+    const auto hs = [](const std::vector<double> &v) {
+        return 2.0 / (1.0 / v[0] + 1.0 / v[1]);
+    };
+    const TlpCombo want = bruteForce(patternLandscape, hs);
+    EXPECT_GE(hs(patternLandscape(got)),
+              0.9 * hs(patternLandscape(want)));
+}
+
+TEST(PbsSearch, ThreeAppsConverge)
+{
+    const Landscape three = [](const TlpCombo &c) {
+        return std::vector<double>{
+            c[0] <= 4 ? 0.1 * c[0] : std::max(0.05, 0.5 - 0.04 * c[0]),
+            0.4 * c[1] / (c[1] + 6.0),
+            0.3 * c[2] / (c[2] + 3.0)};
+    };
+    PbsSearch search(EbObjective::WS, 3, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, three);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_LT(search.samplesTaken(), 40u)
+        << "still far below the 512-combo exhaustive space";
+    const double got_val = sum(three(got));
+    const TlpCombo want = bruteForce(three, sum, 3);
+    EXPECT_GE(got_val, 0.9 * sum(three(want)));
+}
+
+TEST(PbsSearch, NextComboNulloptAfterDone)
+{
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    solve(search, patternLandscape);
+    EXPECT_FALSE(search.nextCombo().has_value());
+}
+
+TEST(PbsSearchDeath, BestBeforeDonePanics)
+{
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    EXPECT_DEATH(search.best(), "before");
+}
+
+TEST(PbsSearchDeath, SingleAppIsFatal)
+{
+    EXPECT_DEATH(
+        { PbsSearch s(EbObjective::WS, 1, kLevels, ScalingMode::None); },
+        "two applications");
+}
+
+TEST(PbsSearchDeath, UnsortedLevelsAreFatal)
+{
+    EXPECT_DEATH(
+        {
+            PbsSearch s(EbObjective::WS, 2, {4, 2, 1},
+                        ScalingMode::None);
+        },
+        "ascending");
+}
+
+TEST(PbsSearchDeath, UserScaleSizeMismatchIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            PbsSearch s(EbObjective::FI, 2, kLevels,
+                        ScalingMode::UserGroup, {1.0});
+        },
+        "scale");
+}
+
+/**
+ * Property sweep: over a family of landscapes with the inflection at
+ * different levels, PBS must always land within 10% of brute force
+ * while sampling under half of the space.
+ */
+class PbsInflectionSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PbsInflectionSweep, NearOptimalAtAnyInflection)
+{
+    const std::uint32_t knee = GetParam();
+    const Landscape land = [knee](const TlpCombo &c) {
+        const double t0 = c[0], t1 = c[1];
+        const double eb0 = t0 <= knee
+                               ? 0.1 + 0.4 * t0 / knee
+                               : std::max(0.05, 0.5 - 0.03 * (t0 - knee));
+        const double eb1 = 0.5 * t1 / (t1 + 6.0) * (1.0 - 0.005 * t0);
+        return std::vector<double>{eb0, eb1};
+    };
+    PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
+    const TlpCombo got = solve(search, land);
+    const TlpCombo want = bruteForce(land, sum);
+    EXPECT_GE(sum(land(got)), 0.9 * sum(land(want)))
+        << "knee at " << knee;
+    EXPECT_LT(search.samplesTaken(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knees, PbsInflectionSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u, 8u, 12u,
+                                           16u));
+
+} // namespace
+} // namespace ebm

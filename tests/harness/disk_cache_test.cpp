@@ -1,0 +1,105 @@
+#include "harness/disk_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+class DiskCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "ebm_cache_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".txt";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(DiskCacheTest, MissingFileIsEmptyCache)
+{
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.get("nope").has_value());
+}
+
+TEST_F(DiskCacheTest, PutThenGetRoundTrip)
+{
+    DiskCache cache(path_);
+    cache.put("k1", {1.0, 2.5, -3.0});
+    const auto v = cache.get("k1");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, (std::vector<double>{1.0, 2.5, -3.0}));
+}
+
+TEST_F(DiskCacheTest, PersistsAcrossInstances)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("alone/BFS/4", {0.123456789012345, 42.0});
+    }
+    DiskCache reopened(path_);
+    const auto v = reopened.get("alone/BFS/4");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ((*v)[0], 0.123456789012345);
+    EXPECT_DOUBLE_EQ((*v)[1], 42.0);
+}
+
+TEST_F(DiskCacheTest, OverwriteUpdatesInMemoryValue)
+{
+    DiskCache cache(path_);
+    cache.put("k", {1.0});
+    cache.put("k", {2.0});
+    EXPECT_EQ((*cache.get("k"))[0], 2.0);
+}
+
+TEST_F(DiskCacheTest, EmptyValueAllowed)
+{
+    DiskCache cache(path_);
+    cache.put("empty", {});
+    ASSERT_TRUE(cache.get("empty").has_value());
+    EXPECT_TRUE(cache.get("empty")->empty());
+}
+
+TEST_F(DiskCacheTest, CorruptLinesAreSkipped)
+{
+    {
+        std::ofstream out(path_);
+        out << "not a valid line\n";
+        out << "good| 1 2 3\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.get("good").has_value());
+}
+
+TEST_F(DiskCacheTest, ManyKeys)
+{
+    DiskCache cache(path_);
+    for (int i = 0; i < 100; ++i)
+        cache.put("key" + std::to_string(i),
+                  {static_cast<double>(i)});
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 100u);
+    EXPECT_EQ((*reopened.get("key57"))[0], 57.0);
+}
+
+TEST_F(DiskCacheTest, ReservedCharacterInKeyIsFatal)
+{
+    DiskCache cache(path_);
+    EXPECT_DEATH(cache.put("bad|key", {1.0}), "reserved");
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,168 @@
+#include "harness/exhaustive.hpp"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+/** Hand-built two-combo table with known metric values. */
+ComboTable
+syntheticTable()
+{
+    ComboTable table;
+    table.levels = {1, 2};
+    auto add = [&table](TlpCombo combo, double ipc0, double ipc1,
+                        double eb0, double eb1) {
+        RunResult r;
+        r.apps.resize(2);
+        r.apps[0].ipc = ipc0;
+        r.apps[1].ipc = ipc1;
+        r.apps[0].bw = eb0; // cmr 1 -> eb == bw.
+        r.apps[1].bw = eb1;
+        r.finalTlp = combo;
+        table.combos.push_back(std::move(combo));
+        table.results.push_back(std::move(r));
+    };
+    add({1, 1}, 1.0, 1.0, 0.2, 0.2);
+    add({2, 1}, 2.0, 0.4, 0.5, 0.1);
+    add({1, 2}, 0.4, 2.0, 0.1, 0.5);
+    add({2, 2}, 1.2, 1.2, 0.3, 0.3);
+    return table;
+}
+
+TEST(ComboTableUnit, IndexOfFindsCombos)
+{
+    const ComboTable t = syntheticTable();
+    EXPECT_EQ(t.indexOf({1, 1}), 0u);
+    EXPECT_EQ(t.indexOf({2, 2}), 3u);
+}
+
+TEST(ComboTableUnitDeath, MissingComboPanics)
+{
+    const ComboTable t = syntheticTable();
+    EXPECT_DEATH(t.indexOf({8, 8}), "not in table");
+}
+
+TEST(ExhaustiveArgmax, SdWsPicksHighestSumOfSlowdowns)
+{
+    const ComboTable t = syntheticTable();
+    // alone ipcs (2, 2): SDs: (1,1)->1; (2,1)->1.2; (1,2)->1.2;
+    // (2,2)->1.2. Tie broken by first max: (2,1).
+    const TlpCombo c =
+        Exhaustive::argmax(t, OptTarget::SdWS, {2.0, 2.0});
+    EXPECT_DOUBLE_EQ(
+        Exhaustive::value(t, c, OptTarget::SdWS, {2.0, 2.0}), 1.2);
+}
+
+TEST(ExhaustiveArgmax, SdFiPrefersBalance)
+{
+    const ComboTable t = syntheticTable();
+    const TlpCombo c =
+        Exhaustive::argmax(t, OptTarget::SdFI, {2.0, 2.0});
+    // (1,1) and (2,2) are perfectly fair; (1,1) comes first.
+    EXPECT_DOUBLE_EQ(
+        Exhaustive::value(t, c, OptTarget::SdFI, {2.0, 2.0}), 1.0);
+}
+
+TEST(ExhaustiveArgmax, EbWsIgnoresAloneInfo)
+{
+    const ComboTable t = syntheticTable();
+    const TlpCombo c = Exhaustive::argmax(t, OptTarget::EbWS);
+    EXPECT_EQ(c, (TlpCombo{2, 1}))
+        << "(2,1) and (1,2) tie at 0.6; first wins";
+}
+
+TEST(ExhaustiveArgmax, EbFiWithScale)
+{
+    const ComboTable t = syntheticTable();
+    // Scale app 0 by 5: (2,1) has scaled EBs (0.1, 0.1) -> FI 1.
+    const TlpCombo c =
+        Exhaustive::argmax(t, OptTarget::EbFI, {}, {5.0, 1.0});
+    EXPECT_EQ(c, (TlpCombo{2, 1}));
+}
+
+TEST(ExhaustiveArgmax, SumIpcTarget)
+{
+    const ComboTable t = syntheticTable();
+    const TlpCombo c = Exhaustive::argmax(t, OptTarget::SumIpc);
+    EXPECT_DOUBLE_EQ(
+        Exhaustive::value(t, c, OptTarget::SumIpc), 2.4);
+}
+
+TEST(ExhaustiveArgmaxDeath, SdTargetWithoutAloneIpcsIsFatal)
+{
+    const ComboTable t = syntheticTable();
+    EXPECT_DEATH(Exhaustive::argmax(t, OptTarget::SdWS),
+                 "alone IPCs");
+}
+
+class ExhaustiveSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cache_path_ = ::testing::TempDir() + "ebm_sweep_cache.txt";
+        std::remove(cache_path_.c_str());
+    }
+
+    void TearDown() override { std::remove(cache_path_.c_str()); }
+
+    std::string cache_path_;
+};
+
+TEST_F(ExhaustiveSweepTest, SweepEnumeratesAllCombos)
+{
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    DiskCache cache(cache_path_);
+    Exhaustive ex(runner, cache);
+
+    // BLK_TRD resolves from the catalog; tiny ladder for speed.
+    const Workload wl = makePair("BLK", "TRD");
+    const ComboTable t = ex.sweep(wl, {1, 4});
+    EXPECT_EQ(t.combos.size(), 4u);
+    EXPECT_EQ(t.results.size(), 4u);
+    for (const RunResult &r : t.results) {
+        EXPECT_EQ(r.apps.size(), 2u);
+        EXPECT_GT(r.apps[0].ipc, 0.0);
+    }
+}
+
+TEST_F(ExhaustiveSweepTest, SecondSweepServedFromCache)
+{
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    DiskCache cache(cache_path_);
+    Exhaustive ex(runner, cache);
+    const Workload wl = makePair("BLK", "TRD");
+
+    const ComboTable first = ex.sweep(wl, {1, 4});
+    const std::size_t cached = cache.size();
+    EXPECT_EQ(cached, 4u);
+
+    const ComboTable second = ex.sweep(wl, {1, 4});
+    EXPECT_EQ(cache.size(), cached) << "no new entries";
+    for (std::size_t i = 0; i < first.results.size(); ++i) {
+        EXPECT_DOUBLE_EQ(first.results[i].apps[0].ipc,
+                         second.results[i].apps[0].ipc);
+    }
+}
+
+TEST_F(ExhaustiveSweepTest, CacheSharedAcrossInstances)
+{
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    const Workload wl = makePair("BLK", "TRD");
+    {
+        DiskCache cache(cache_path_);
+        Exhaustive ex(runner, cache);
+        ex.sweep(wl, {1, 4});
+    }
+    DiskCache cache(cache_path_);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+} // namespace
+} // namespace ebm

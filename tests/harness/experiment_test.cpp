@@ -1,0 +1,100 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+TEST(Gmean, MatchesHandComputation)
+{
+    EXPECT_NEAR(gmean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Gmean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(gmean({}), 0.0);
+}
+
+TEST(GmeanDeath, NonPositiveIsFatal)
+{
+    EXPECT_DEATH(gmean({1.0, 0.0}), "non-positive");
+}
+
+TEST(ExperimentConfig, StandardConfigMatchesDesign)
+{
+    const GpuConfig cfg = Experiment::standardConfig(2);
+    EXPECT_EQ(cfg.numApps, 2u);
+    EXPECT_EQ(cfg.numCores, 16u);
+    EXPECT_EQ(cfg.numPartitions, 6u);
+    cfg.validate();
+}
+
+TEST(ExperimentConfig, StandardOptionsArePositive)
+{
+    const RunOptions opts = Experiment::standardOptions();
+    EXPECT_GT(opts.measureCycles, 0u);
+    EXPECT_GT(opts.windowCycles, 0u);
+}
+
+/** PBS offline against a synthetic table (no simulation). */
+TEST(PbsOffline, AgreesWithSearchOnSyntheticTable)
+{
+    // Build a table over a tiny ladder with app 0 critical.
+    ComboTable table;
+    table.levels = {1, 2, 4, 8};
+    // Fill in odometer order matching Exhaustive::sweep.
+    std::vector<std::size_t> idx(2, 0);
+    while (true) {
+        TlpCombo combo = {table.levels[idx[0]], table.levels[idx[1]]};
+        RunResult r;
+        r.apps.resize(2);
+        const double t0 = combo[0], t1 = combo[1];
+        r.apps[0].bw = t0 <= 2 ? 0.2 * t0 : std::max(0.1, 0.5 - 0.1 * t0);
+        r.apps[1].bw = 0.4 * t1 / (t1 + 2.0);
+        r.finalTlp = combo;
+        table.combos.push_back(combo);
+        table.results.push_back(std::move(r));
+        std::uint32_t pos = 0;
+        while (pos < 2) {
+            if (++idx[pos] < table.levels.size())
+                break;
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == 2)
+            break;
+    }
+
+    Experiment exp(2, ::testing::TempDir() + "exp_cache1.txt");
+    std::uint32_t samples = 0;
+    const TlpCombo combo = exp.pbsOffline(table, EbObjective::WS,
+                                          ScalingMode::None, {},
+                                          &samples);
+    EXPECT_GT(samples, 0u);
+    EXPECT_LT(samples, table.combos.size());
+    // Near-optimal vs the table's own brute force.
+    const TlpCombo bf = Exhaustive::argmax(table, OptTarget::EbWS);
+    const double got =
+        Exhaustive::value(table, combo, OptTarget::EbWS);
+    const double best = Exhaustive::value(table, bf, OptTarget::EbWS);
+    EXPECT_GE(got, 0.9 * best);
+}
+
+TEST(ScoreMath, ScoresUseAloneIpcs)
+{
+    // score() is exercised with a fabricated result to avoid long
+    // profiling runs here (integration tests cover the full path).
+    SdScores s;
+    s.sds = {0.5, 0.5};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(s.sds), 1.0);
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,69 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+class MachineReportTest : public ::testing::Test
+{
+  protected:
+    MachineReportTest()
+        : gpu_(test::tinyConfig(2),
+               {test::streamingApp(), test::cacheApp()})
+    {
+        gpu_.run(3000);
+    }
+
+    Gpu gpu_;
+};
+
+TEST_F(MachineReportTest, AppSummaryListsEveryApp)
+{
+    const std::string out = MachineReport(gpu_).appSummary();
+    EXPECT_NE(out.find("app0"), std::string::npos);
+    EXPECT_NE(out.find("app1"), std::string::npos);
+    EXPECT_NE(out.find("EB"), std::string::npos);
+}
+
+TEST_F(MachineReportTest, CoreBreakdownListsEveryCore)
+{
+    const std::string out = MachineReport(gpu_).coreBreakdown();
+    for (CoreId id = 0; id < gpu_.numCores(); ++id) {
+        EXPECT_NE(out.find("| " + std::to_string(id) + " "),
+                  std::string::npos)
+            << "core " << id;
+    }
+}
+
+TEST_F(MachineReportTest, MemoryBreakdownListsEveryPartition)
+{
+    const std::string out = MachineReport(gpu_).memoryBreakdown();
+    EXPECT_NE(out.find("row hit%"), std::string::npos);
+    for (PartitionId p = 0; p < gpu_.numPartitions(); ++p) {
+        EXPECT_NE(out.find("| " + std::to_string(p) + " "),
+                  std::string::npos);
+    }
+}
+
+TEST_F(MachineReportTest, FullContainsAllSections)
+{
+    const std::string out = MachineReport(gpu_).full();
+    EXPECT_NE(out.find("Per-application summary"), std::string::npos);
+    EXPECT_NE(out.find("Per-core breakdown"), std::string::npos);
+    EXPECT_NE(out.find("Per-partition memory"), std::string::npos);
+}
+
+TEST_F(MachineReportTest, FreshMachineRendersWithoutDivByZero)
+{
+    Gpu fresh(test::tinyConfig(1), {test::streamingApp()});
+    const std::string out = MachineReport(fresh).full();
+    EXPECT_FALSE(out.empty());
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,64 @@
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Workload", "WS"});
+    t.addRow({"BFS_FFT", "1.23"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Workload"), std::string::npos);
+    EXPECT_NE(out.find("BFS_FFT"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"longvalue", "1"});
+    t.addRow({"x", "22"});
+    const std::string out = t.render();
+    // All lines have equal length (fixed-width columns).
+    std::size_t expected = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t end = out.find('\n', pos);
+        const std::size_t len = end - pos;
+        if (expected == std::string::npos)
+            expected = len;
+        EXPECT_EQ(len, expected);
+        pos = end + 1;
+    }
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, SeparatorAfterHeader)
+{
+    TextTable t({"H"});
+    t.addRow({"v"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTableDeath, EmptyHeaderIsFatal)
+{
+    EXPECT_DEATH({ TextTable t({}); }, "column");
+}
+
+TEST(TextTableDeath, RowWidthMismatchIsFatal)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only one"}), "width");
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,150 @@
+#include "interconnect/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+TEST(CrossbarNetwork, DeliversAfterLatency)
+{
+    CrossbarNetwork<int> net(2, 2, 4, /*latency=*/3);
+    net.inject(0, 1, 42);
+    net.tick(10);
+    int flit = 0;
+    EXPECT_FALSE(net.tryEject(1, 12, flit)) << "latency not elapsed";
+    EXPECT_TRUE(net.tryEject(1, 13, flit));
+    EXPECT_EQ(flit, 42);
+}
+
+TEST(CrossbarNetwork, NothingAtWrongOutput)
+{
+    CrossbarNetwork<int> net(2, 2, 4, 1);
+    net.inject(0, 1, 7);
+    net.tick(0);
+    int flit = 0;
+    EXPECT_FALSE(net.tryEject(0, 100, flit));
+    EXPECT_TRUE(net.tryEject(1, 100, flit));
+}
+
+TEST(CrossbarNetwork, OneGrantPerOutputPerCycle)
+{
+    CrossbarNetwork<int> net(4, 1, 4, 0);
+    for (std::uint32_t in = 0; in < 4; ++in)
+        net.inject(in, 0, static_cast<int>(in));
+    net.tick(0);
+    int flit = -1;
+    int count = 0;
+    while (net.tryEject(0, 1, flit))
+        ++count;
+    EXPECT_EQ(count, 1) << "the allocator grants one input per cycle";
+}
+
+TEST(CrossbarNetwork, RoundRobinFairnessAcrossInputs)
+{
+    CrossbarNetwork<int> net(3, 1, 8, 0);
+    // Keep all three inputs backlogged; outputs should rotate.
+    std::vector<int> order;
+    for (Cycle t = 0; t < 9; ++t) {
+        for (std::uint32_t in = 0; in < 3; ++in) {
+            if (net.canAccept(in, 0))
+                net.inject(in, 0, static_cast<int>(in));
+        }
+        net.tick(t);
+        int flit;
+        while (net.tryEject(0, t + 1, flit))
+            order.push_back(flit);
+    }
+    ASSERT_GE(order.size(), 6u);
+    int counts[3] = {};
+    for (int v : order)
+        ++counts[v];
+    // No input is starved or dominant.
+    for (int c : counts) {
+        EXPECT_GE(c, static_cast<int>(order.size()) / 3 - 1);
+        EXPECT_LE(c, static_cast<int>(order.size()) / 3 + 1);
+    }
+}
+
+TEST(CrossbarNetwork, BackpressurePerVoq)
+{
+    CrossbarNetwork<int> net(1, 2, 2, 1);
+    EXPECT_TRUE(net.canAccept(0, 0));
+    net.inject(0, 0, 1);
+    net.inject(0, 0, 2);
+    EXPECT_FALSE(net.canAccept(0, 0)) << "VOQ(0,0) full";
+    EXPECT_TRUE(net.canAccept(0, 1)) << "other VOQ unaffected";
+}
+
+TEST(CrossbarNetwork, OccupancyTracksFlits)
+{
+    CrossbarNetwork<int> net(2, 2, 4, 1);
+    EXPECT_EQ(net.occupancy(), 0u);
+    net.inject(0, 0, 1);
+    net.inject(1, 1, 2);
+    EXPECT_EQ(net.occupancy(), 2u);
+    net.tick(0);
+    EXPECT_EQ(net.occupancy(), 2u) << "flits moved to output queues";
+    int flit;
+    net.tryEject(0, 10, flit);
+    net.tryEject(1, 10, flit);
+    EXPECT_EQ(net.occupancy(), 0u);
+}
+
+TEST(CrossbarNetwork, ClearDropsEverything)
+{
+    CrossbarNetwork<int> net(2, 2, 4, 1);
+    net.inject(0, 0, 1);
+    net.tick(0);
+    net.inject(0, 1, 2);
+    net.clear();
+    EXPECT_EQ(net.occupancy(), 0u);
+}
+
+TEST(CrossbarNetwork, FifoWithinOneFlow)
+{
+    CrossbarNetwork<int> net(1, 1, 8, 2);
+    for (int i = 0; i < 5; ++i)
+        net.inject(0, 0, i);
+    std::vector<int> out;
+    for (Cycle t = 0; t < 10; ++t) {
+        net.tick(t);
+        int flit;
+        while (net.tryEject(0, t, flit))
+            out.push_back(flit);
+    }
+    ASSERT_EQ(out.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(Crossbar, RequestAndResponseNetsIndependent)
+{
+    GpuConfig cfg = test::tinyConfig();
+    Crossbar xbar(cfg);
+
+    MemRequest req;
+    req.lineAddr = 0x100;
+    req.core = 1;
+    ASSERT_TRUE(xbar.requestNet().canAccept(1, 0));
+    xbar.requestNet().inject(1, 0, req);
+
+    MemResponse resp;
+    resp.lineAddr = 0x200;
+    ASSERT_TRUE(xbar.responseNet().canAccept(0, 2));
+    xbar.responseNet().inject(0, 2, resp);
+
+    for (Cycle t = 0; t < 2 * cfg.icntRequestLatency + 2; ++t)
+        xbar.tick(t);
+
+    MemRequest out_req;
+    EXPECT_TRUE(xbar.requestNet().tryEject(0, 100, out_req));
+    EXPECT_EQ(out_req.lineAddr, 0x100u);
+    MemResponse out_resp;
+    EXPECT_TRUE(xbar.responseNet().tryEject(2, 100, out_resp));
+    EXPECT_EQ(out_resp.lineAddr, 0x200u);
+}
+
+} // namespace
+} // namespace ebm

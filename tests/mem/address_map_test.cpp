@@ -1,0 +1,135 @@
+#include "mem/address_map.hpp"
+
+#include <set>
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+class AddressMapTest : public ::testing::Test
+{
+  protected:
+    GpuConfig cfg_ = test::tinyConfig();
+    AddressMap amap_{cfg_};
+};
+
+TEST_F(AddressMapTest, LineAlignMasksLowBits)
+{
+    EXPECT_EQ(amap_.lineAlign(0), 0u);
+    EXPECT_EQ(amap_.lineAlign(127), 0u);
+    EXPECT_EQ(amap_.lineAlign(128), 128u);
+    EXPECT_EQ(amap_.lineAlign(300), 256u);
+}
+
+TEST_F(AddressMapTest, PartitionInterleavesPerChunk)
+{
+    // The address space is interleaved among partitions in
+    // interleaveBytes chunks — all lines of a chunk land on the same
+    // partition, the next chunk on the next partition.
+    const Addr chunk = cfg_.interleaveBytes;
+    EXPECT_EQ(amap_.partitionOf(0), amap_.partitionOf(chunk - 128));
+    EXPECT_NE(amap_.partitionOf(0), amap_.partitionOf(chunk));
+}
+
+TEST_F(AddressMapTest, PartitionRotationIsRoundRobin)
+{
+    const auto n = cfg_.numPartitions;
+    for (Addr chunk = 0; chunk < 4 * n; ++chunk) {
+        EXPECT_EQ(amap_.partitionOf(chunk * cfg_.interleaveBytes),
+                  static_cast<PartitionId>(chunk % n));
+    }
+}
+
+TEST_F(AddressMapTest, AllPartitionsReachable)
+{
+    std::set<PartitionId> seen;
+    for (Addr a = 0; a < 64 * cfg_.interleaveBytes;
+         a += cfg_.interleaveBytes)
+        seen.insert(amap_.partitionOf(a));
+    EXPECT_EQ(seen.size(), cfg_.numPartitions);
+}
+
+TEST_F(AddressMapTest, DecodeIsDeterministic)
+{
+    const DramCoord a = amap_.decode(0x12340080);
+    const DramCoord b = amap_.decode(0x12340080);
+    EXPECT_EQ(a.partition, b.partition);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+}
+
+TEST_F(AddressMapTest, DecodePartitionMatchesPartitionOf)
+{
+    for (Addr a = 0; a < 1 << 16; a += 128)
+        EXPECT_EQ(amap_.decode(a).partition, amap_.partitionOf(a));
+}
+
+TEST_F(AddressMapTest, BanksWithinRange)
+{
+    for (Addr a = 0; a < 1 << 18; a += 128)
+        EXPECT_LT(amap_.decode(a).bank, cfg_.banksPerChannel);
+}
+
+TEST_F(AddressMapTest, ColumnsWithinRow)
+{
+    const auto lines_per_row = cfg_.rowBytes / cfg_.l2Slice.lineBytes;
+    for (Addr a = 0; a < 1 << 18; a += 128)
+        EXPECT_LT(amap_.decode(a).col, lines_per_row);
+}
+
+TEST_F(AddressMapTest, SequentialChannelLocalLinesShareRows)
+{
+    // Lines that are channel-local-consecutive should mostly share a
+    // row (this is what gives streams their row-buffer locality).
+    std::uint32_t same_row = 0, total = 0;
+    DramCoord prev = amap_.decode(0);
+    const auto n = cfg_.numPartitions;
+    // Walk chunk addresses on partition 0 only.
+    for (Addr chunk = n; chunk < 512 * n; chunk += n) {
+        const DramCoord cur = amap_.decode(chunk * cfg_.interleaveBytes);
+        ASSERT_EQ(cur.partition, 0u);
+        if (cur.bank == prev.bank && cur.row == prev.row)
+            ++same_row;
+        ++total;
+        prev = cur;
+    }
+    EXPECT_GT(static_cast<double>(same_row) / total, 0.5);
+}
+
+TEST_F(AddressMapTest, BanksRoughlyBalancedForRandomAddresses)
+{
+    std::vector<std::uint32_t> hist(cfg_.banksPerChannel, 0);
+    std::uint32_t total = 0;
+    for (std::uint64_t i = 0; i < 20'000; ++i) {
+        const Addr a = amap_.lineAlign(mix64(i) % (1ull << 32));
+        const DramCoord c = amap_.decode(a);
+        if (c.partition == 0) {
+            ++hist[c.bank];
+            ++total;
+        }
+    }
+    for (std::uint32_t count : hist) {
+        EXPECT_GT(count, total / cfg_.banksPerChannel / 2);
+        EXPECT_LT(count, total * 2 / cfg_.banksPerChannel);
+    }
+}
+
+TEST(AddressMapStd, StandardConfigCoversSixPartitions)
+{
+    GpuConfig cfg;
+    AddressMap amap(cfg);
+    std::set<PartitionId> seen;
+    for (Addr a = 0; a < 6 * cfg.interleaveBytes;
+         a += cfg.interleaveBytes)
+        seen.insert(amap.partitionOf(a));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+} // namespace
+} // namespace ebm

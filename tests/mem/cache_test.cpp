@@ -1,0 +1,149 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+CacheGeometry
+smallGeom()
+{
+    CacheGeometry g;
+    g.sizeBytes = 4 * 2 * 128; // 4 sets, 2 ways.
+    g.assoc = 2;
+    g.lineBytes = 128;
+    g.mshrEntries = 4;
+    g.mshrTargetsPerEntry = 2;
+    return g;
+}
+
+MemRequest
+req(Addr line, AppId app = 0, WarpId warp = 0)
+{
+    MemRequest r;
+    r.lineAddr = line;
+    r.app = app;
+    r.warp = warp;
+    return r;
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    Cache cache_{smallGeom(), /*num_apps=*/2};
+};
+
+TEST_F(CacheTest, ColdMissThenFillThenHit)
+{
+    EXPECT_EQ(cache_.access(req(0x100)), CacheOutcome::MissNew);
+    cache_.fill(0x100, 0, false);
+    EXPECT_EQ(cache_.access(req(0x100)), CacheOutcome::Hit);
+}
+
+TEST_F(CacheTest, SecondaryMissMergesWhileInFlight)
+{
+    EXPECT_EQ(cache_.access(req(0x100, 0, 1)), CacheOutcome::MissNew);
+    EXPECT_EQ(cache_.access(req(0x100, 0, 2)), CacheOutcome::MissMerged);
+    const auto fill = cache_.fill(0x100, 0, false);
+    ASSERT_EQ(fill.waiters.size(), 2u);
+    EXPECT_EQ(fill.waiters[0].warp, 1u);
+    EXPECT_EQ(fill.waiters[1].warp, 2u);
+}
+
+TEST_F(CacheTest, StallOnMshrExhaustionIsNotCounted)
+{
+    // Fill all 4 MSHR entries.
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_EQ(cache_.access(req(0x1000 + a * 128)),
+                  CacheOutcome::MissNew);
+    const auto accesses_before = cache_.stats().accesses(0);
+    EXPECT_EQ(cache_.access(req(0x9000)), CacheOutcome::Stall);
+    EXPECT_EQ(cache_.stats().accesses(0), accesses_before)
+        << "stalled (retried) requests must not be double counted";
+}
+
+TEST_F(CacheTest, MissRatePerApp)
+{
+    cache_.access(req(0x100, 0));
+    cache_.fill(0x100, 0, false);
+    cache_.access(req(0x100, 0)); // Hit.
+    cache_.access(req(0x900, 1)); // Miss for app 1.
+    EXPECT_DOUBLE_EQ(cache_.stats().missRate(0), 0.5);
+    EXPECT_DOUBLE_EQ(cache_.stats().missRate(1), 1.0);
+}
+
+TEST_F(CacheTest, BypassNeverHitsAndNeverAllocates)
+{
+    // Even a line that is resident is "missed" by a bypassed access.
+    cache_.access(req(0x100));
+    cache_.fill(0x100, 0, false);
+    EXPECT_EQ(cache_.access(req(0x200), /*bypass=*/true),
+              CacheOutcome::MissNew);
+    cache_.fill(0x200, 0, /*bypass=*/true);
+    EXPECT_EQ(cache_.access(req(0x200)), CacheOutcome::MissNew)
+        << "bypass fill must not install the line";
+}
+
+TEST_F(CacheTest, BypassCountsAsMissInStats)
+{
+    cache_.access(req(0x100, 1), true);
+    EXPECT_EQ(cache_.stats().accesses(1), 1u);
+    EXPECT_EQ(cache_.stats().misses(1), 1u);
+}
+
+TEST_F(CacheTest, InFlightLineTrackedUntilFill)
+{
+    cache_.access(req(0x300));
+    EXPECT_TRUE(cache_.missInFlight(0x300));
+    cache_.fill(0x300, 0, false);
+    EXPECT_FALSE(cache_.missInFlight(0x300));
+}
+
+TEST_F(CacheTest, WindowMissRateResetsAtCheckpoint)
+{
+    cache_.access(req(0x100)); // Miss.
+    cache_.fill(0x100, 0, false);
+    cache_.stats().checkpoint();
+    cache_.access(req(0x100)); // Hit only in this window.
+    EXPECT_DOUBLE_EQ(cache_.stats().windowMissRate(0), 0.0);
+    EXPECT_DOUBLE_EQ(cache_.stats().missRate(0), 0.5);
+}
+
+TEST_F(CacheTest, ResetClearsTagsAndStats)
+{
+    cache_.access(req(0x100));
+    cache_.fill(0x100, 0, false);
+    cache_.reset();
+    EXPECT_EQ(cache_.stats().accesses(0), 0u);
+    EXPECT_EQ(cache_.access(req(0x100)), CacheOutcome::MissNew);
+}
+
+TEST_F(CacheTest, EvictionAllowsNewLine)
+{
+    // Fill both ways of set 0 (4 sets -> stride 4*128).
+    const Addr s0a = 0 * 128 + 0 * 512;
+    const Addr s0b = 0 * 128 + 1 * 512;
+    const Addr s0c = 0 * 128 + 2 * 512;
+    cache_.access(req(s0a));
+    cache_.fill(s0a, 0, false);
+    cache_.access(req(s0b));
+    cache_.fill(s0b, 0, false);
+    cache_.access(req(s0c));
+    cache_.fill(s0c, 0, false);
+    EXPECT_EQ(cache_.access(req(s0a)), CacheOutcome::MissNew)
+        << "LRU line evicted by the third fill";
+}
+
+TEST_F(CacheTest, StallLeavesNoEntryBehind)
+{
+    // Exhaust the 2 targets of one entry; the stalled third requester
+    // must not appear among the waiters.
+    cache_.access(req(0x100, 0, 1));
+    cache_.access(req(0x100, 0, 2));
+    EXPECT_EQ(cache_.access(req(0x100, 0, 3)), CacheOutcome::Stall);
+    const auto fill = cache_.fill(0x100, 0, false);
+    EXPECT_EQ(fill.waiters.size(), 2u);
+}
+
+} // namespace
+} // namespace ebm

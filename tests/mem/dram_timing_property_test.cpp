@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Property sweeps over DRAM timing parameters: throughput and latency
+ * must respond monotonically to the constraint being swept. These
+ * catch sign errors and dropped constraints in the controller that a
+ * single-configuration test would miss.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "mem/dram.hpp"
+
+namespace ebm {
+namespace {
+
+/** Cycles to service @p n row-missing requests spread over banks. */
+Cycle
+serviceTime(const GpuConfig &cfg, std::uint32_t n,
+            bool same_bank = false)
+{
+    DramChannel dram(cfg, 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        MemRequest req;
+        req.app = 0;
+        DramCoord coord;
+        coord.bank = same_bank ? 0 : i % cfg.banksPerChannel;
+        coord.row = 1000 + i;
+        coord.col = 0;
+        dram.enqueue(req, coord);
+    }
+    std::uint32_t done = 0;
+    Cycle last = 0;
+    for (Cycle c = 0; c < 100'000 && done < n; ++c) {
+        for (const auto &completion : dram.tick()) {
+            ++done;
+            last = completion.readyAt;
+        }
+    }
+    EXPECT_EQ(done, n) << "all requests must complete";
+    return last;
+}
+
+TEST(DramTimingProperty, LongerTrrdNeverFaster)
+{
+    GpuConfig base = test::tinyConfig();
+    base.dram.tRRD = 4;
+    const Cycle fast = serviceTime(base, 16);
+    for (std::uint32_t trrd : {4u, 6u, 8u, 12u, 20u}) {
+        base.dram.tRRD = trrd;
+        EXPECT_GE(serviceTime(base, 16), fast) << "tRRD " << trrd;
+    }
+}
+
+TEST(DramTimingProperty, TrrdStrictlySlowsActivateBoundTraffic)
+{
+    GpuConfig base = test::tinyConfig();
+    base.dram.tRRD = 4;
+    const Cycle fast = serviceTime(base, 16);
+    base.dram.tRRD = 20;
+    EXPECT_GT(serviceTime(base, 16), fast)
+        << "row-miss traffic is activate-rate bound";
+}
+
+TEST(DramTimingProperty, LongerPrechargeNeverFasterOnBankConflicts)
+{
+    GpuConfig base = test::tinyConfig();
+    base.dram.tRP = 4;
+    const Cycle fast = serviceTime(base, 8, /*same_bank=*/true);
+    for (std::uint32_t trp : {4u, 8u, 12u, 24u}) {
+        base.dram.tRP = trp;
+        EXPECT_GE(serviceTime(base, 8, true), fast) << "tRP " << trp;
+    }
+}
+
+TEST(DramTimingProperty, LongerBurstsNeverFaster)
+{
+    GpuConfig base = test::tinyConfig();
+    base.dram.burstCycles = 1;
+    const Cycle fast = serviceTime(base, 32);
+    for (std::uint32_t burst : {1u, 2u, 4u, 8u}) {
+        base.dram.burstCycles = burst;
+        EXPECT_GE(serviceTime(base, 32), fast) << "burst " << burst;
+    }
+}
+
+TEST(DramTimingProperty, LongerRcdDelaysColdAccess)
+{
+    GpuConfig base = test::tinyConfig();
+    base.dram.tRCD = 4;
+    const Cycle fast = serviceTime(base, 1);
+    base.dram.tRCD = 30;
+    EXPECT_GT(serviceTime(base, 1), fast);
+}
+
+TEST(DramTimingProperty, StarvationCapBoundsWorstCaseWait)
+{
+    // One victim request to a conflicting row behind a continuous
+    // row-hit stream; the victim's completion time must be bounded
+    // by roughly the cap (plus service constants), at every cap.
+    for (std::uint32_t cap : {128u, 256u, 512u, 1024u}) {
+        GpuConfig cfg = test::tinyConfig();
+        cfg.frfcfsCapCycles = cap;
+        DramChannel dram(cfg, 2);
+
+        MemRequest stream_req;
+        stream_req.app = 0;
+        MemRequest victim;
+        victim.app = 1;
+        DramCoord stream_coord;
+        stream_coord.bank = 0;
+        stream_coord.row = 1;
+        DramCoord victim_coord;
+        victim_coord.bank = 0;
+        victim_coord.row = 5;
+
+        dram.enqueue(stream_req, stream_coord);
+        dram.enqueue(victim, victim_coord);
+        Cycle victim_done = 0;
+        std::uint32_t col = 0;
+        for (Cycle c = 0; c < 50'000 && victim_done == 0; ++c) {
+            if (!dram.queueFull()) {
+                stream_coord.col = (++col) % 16;
+                dram.enqueue(stream_req, stream_coord);
+            }
+            for (const auto &completion : dram.tick()) {
+                if (completion.req.app == 1)
+                    victim_done = completion.readyAt;
+            }
+        }
+        ASSERT_GT(victim_done, 0u)
+            << "victim must eventually be served (cap " << cap << ")";
+        EXPECT_LT(victim_done, 3u * cap + 500u) << "cap " << cap;
+    }
+}
+
+TEST(DramTimingProperty, TighterCapServesVictimSooner)
+{
+    auto victim_latency = [](std::uint32_t cap) {
+        GpuConfig cfg = test::tinyConfig();
+        cfg.frfcfsCapCycles = cap;
+        DramChannel dram(cfg, 2);
+        MemRequest stream_req;
+        stream_req.app = 0;
+        MemRequest victim;
+        victim.app = 1;
+        DramCoord sc;
+        sc.bank = 0;
+        sc.row = 1;
+        DramCoord vc;
+        vc.bank = 0;
+        vc.row = 5;
+        dram.enqueue(stream_req, sc);
+        dram.enqueue(victim, vc);
+        Cycle done = 0;
+        std::uint32_t col = 0;
+        for (Cycle c = 0; c < 50'000 && done == 0; ++c) {
+            if (!dram.queueFull()) {
+                sc.col = (++col) % 16;
+                dram.enqueue(stream_req, sc);
+            }
+            for (const auto &completion : dram.tick()) {
+                if (completion.req.app == 1)
+                    done = completion.readyAt;
+            }
+        }
+        return done;
+    };
+    EXPECT_LT(victim_latency(128), victim_latency(2048));
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,147 @@
+#include "mem/memory_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+class MemoryPartitionTest : public ::testing::Test
+{
+  protected:
+    MemoryPartitionTest()
+        : cfg_(test::tinyConfig(2)), amap_(cfg_),
+          part_(cfg_, amap_, /*num_apps=*/2)
+    {
+    }
+
+    MemRequest
+    req(Addr line, AppId app = 0, bool bypass_l2 = false)
+    {
+        MemRequest r;
+        r.lineAddr = line;
+        r.app = app;
+        r.bypassL2 = bypass_l2;
+        return r;
+    }
+
+    /** Tick the partition until @p n responses arrive. */
+    std::vector<MemResponse>
+    drain(std::size_t n, Cycle limit = 20'000)
+    {
+        std::vector<MemResponse> all;
+        for (; now_ < limit && all.size() < n; ++now_)
+            part_.tick(now_, all);
+        return all;
+    }
+
+    GpuConfig cfg_;
+    AddressMap amap_;
+    MemoryPartition part_;
+    Cycle now_ = 1;
+};
+
+TEST_F(MemoryPartitionTest, MissGoesToDramAndReturns)
+{
+    part_.deliver(req(0x100));
+    const auto resp = drain(1);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].lineAddr, 0x100u);
+    EXPECT_EQ(part_.l2().stats().misses(0), 1u);
+    EXPECT_GT(part_.dataCycles(0), 0u);
+}
+
+TEST_F(MemoryPartitionTest, L2HitIsFasterAndUsesNoDram)
+{
+    part_.deliver(req(0x100));
+    drain(1);
+    const auto dram_before = part_.dataCycles(0);
+    const Cycle t0 = now_;
+    part_.deliver(req(0x100));
+    drain(1);
+    const Cycle hit_latency = now_ - t0;
+    EXPECT_EQ(part_.dataCycles(0), dram_before)
+        << "an L2 hit transfers no DRAM data";
+    EXPECT_LE(hit_latency, cfg_.l2HitLatency + 8);
+    EXPECT_EQ(part_.l2().stats().misses(0), 1u);
+    EXPECT_EQ(part_.l2().stats().accesses(0), 2u);
+}
+
+TEST_F(MemoryPartitionTest, MergedMissesReturnTogether)
+{
+    part_.deliver(req(0x100, 0));
+    part_.deliver(req(0x100, 0));
+    const auto resp = drain(2);
+    EXPECT_EQ(resp.size(), 2u);
+    EXPECT_EQ(part_.dram().requestsServiced(), 1u)
+        << "merged secondary miss produced no extra DRAM traffic";
+}
+
+TEST_F(MemoryPartitionTest, BypassL2NeverCaches)
+{
+    part_.deliver(req(0x100, 0, /*bypass_l2=*/true));
+    drain(1);
+    part_.deliver(req(0x100, 0, /*bypass_l2=*/true));
+    drain(2);
+    EXPECT_EQ(part_.dram().requestsServiced(), 2u)
+        << "both bypassed accesses reached DRAM";
+    EXPECT_EQ(part_.l2().stats().misses(0), 2u);
+}
+
+TEST_F(MemoryPartitionTest, PerAppAttribution)
+{
+    part_.deliver(req(0x100, 0));
+    part_.deliver(req(0x900, 1));
+    drain(2);
+    EXPECT_EQ(part_.l2().stats().accesses(0), 1u);
+    EXPECT_EQ(part_.l2().stats().accesses(1), 1u);
+    EXPECT_GT(part_.dataCycles(0), 0u);
+    EXPECT_GT(part_.dataCycles(1), 0u);
+}
+
+TEST_F(MemoryPartitionTest, DramClockRunsSlowerThanCore)
+{
+    drain(1, 1000); // Just tick 1000 core cycles.
+    const double ratio = static_cast<double>(part_.dramCyclesElapsed()) /
+                         1000.0;
+    EXPECT_NEAR(ratio, cfg_.dramClockRatio, 0.01);
+}
+
+TEST_F(MemoryPartitionTest, CheckpointResetsWindowCounters)
+{
+    part_.deliver(req(0x100));
+    drain(1);
+    part_.checkpoint();
+    EXPECT_EQ(part_.windowDataCycles(0), 0u);
+    EXPECT_GT(part_.dataCycles(0), 0u);
+}
+
+TEST_F(MemoryPartitionTest, ResetClearsState)
+{
+    part_.deliver(req(0x100));
+    drain(1);
+    part_.reset();
+    EXPECT_EQ(part_.dataCycles(0), 0u);
+    EXPECT_EQ(part_.l2().stats().accesses(0), 0u);
+    EXPECT_EQ(part_.dramCyclesElapsed(), 0u);
+}
+
+TEST_F(MemoryPartitionTest, BackpressureReportedWhenInputFull)
+{
+    // Saturate the input queue without ticking.
+    std::uint32_t accepted = 0;
+    while (part_.canAccept()) {
+        part_.deliver(req(0x1000 + accepted * 128ull));
+        ++accepted;
+        ASSERT_LT(accepted, 10'000u);
+    }
+    EXPECT_GT(accepted, 0u);
+    EXPECT_FALSE(part_.canAccept());
+    // Draining restores acceptance.
+    drain(1);
+    EXPECT_TRUE(part_.canAccept());
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,107 @@
+#include "mem/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+MemRequest
+req(Addr line, WarpId warp = 0, AppId app = 0)
+{
+    MemRequest r;
+    r.lineAddr = line;
+    r.warp = warp;
+    r.app = app;
+    return r;
+}
+
+TEST(MshrFile, FirstMissCreatesEntry)
+{
+    MshrFile mshrs(4, 2);
+    EXPECT_EQ(mshrs.registerMiss(req(0x100)), MshrOutcome::NewEntry);
+    EXPECT_TRUE(mshrs.inFlight(0x100));
+    EXPECT_EQ(mshrs.entriesInUse(), 1u);
+}
+
+TEST(MshrFile, SecondaryMissMerges)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.registerMiss(req(0x100, 1));
+    EXPECT_EQ(mshrs.registerMiss(req(0x100, 2)), MshrOutcome::Merged);
+    EXPECT_EQ(mshrs.entriesInUse(), 1u) << "merge reuses the entry";
+}
+
+TEST(MshrFile, StallWhenEntriesExhausted)
+{
+    MshrFile mshrs(2, 2);
+    mshrs.registerMiss(req(0x100));
+    mshrs.registerMiss(req(0x200));
+    EXPECT_EQ(mshrs.registerMiss(req(0x300)), MshrOutcome::Stall);
+    EXPECT_FALSE(mshrs.inFlight(0x300));
+}
+
+TEST(MshrFile, StallWhenTargetsExhausted)
+{
+    MshrFile mshrs(4, 2);
+    mshrs.registerMiss(req(0x100, 1));
+    mshrs.registerMiss(req(0x100, 2));
+    EXPECT_EQ(mshrs.registerMiss(req(0x100, 3)), MshrOutcome::Stall);
+}
+
+TEST(MshrFile, CompleteFillReturnsAllWaitersInOrder)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.registerMiss(req(0x100, 1));
+    mshrs.registerMiss(req(0x100, 2));
+    mshrs.registerMiss(req(0x100, 3));
+    const auto waiters = mshrs.completeFill(0x100);
+    ASSERT_EQ(waiters.size(), 3u);
+    EXPECT_EQ(waiters[0].warp, 1u) << "primary first";
+    EXPECT_EQ(waiters[1].warp, 2u);
+    EXPECT_EQ(waiters[2].warp, 3u);
+    EXPECT_FALSE(mshrs.inFlight(0x100));
+    EXPECT_EQ(mshrs.entriesInUse(), 0u);
+}
+
+TEST(MshrFile, FreedEntryReusable)
+{
+    MshrFile mshrs(1, 1);
+    mshrs.registerMiss(req(0x100));
+    EXPECT_TRUE(mshrs.full());
+    mshrs.completeFill(0x100);
+    EXPECT_FALSE(mshrs.full());
+    EXPECT_EQ(mshrs.registerMiss(req(0x200)), MshrOutcome::NewEntry);
+}
+
+TEST(MshrFile, DistinctLinesDistinctEntries)
+{
+    MshrFile mshrs(8, 2);
+    mshrs.registerMiss(req(0x100));
+    mshrs.registerMiss(req(0x200));
+    EXPECT_EQ(mshrs.entriesInUse(), 2u);
+    EXPECT_TRUE(mshrs.inFlight(0x100));
+    EXPECT_TRUE(mshrs.inFlight(0x200));
+}
+
+TEST(MshrFile, ClearEmptiesEverything)
+{
+    MshrFile mshrs(4, 2);
+    mshrs.registerMiss(req(0x100));
+    mshrs.clear();
+    EXPECT_EQ(mshrs.entriesInUse(), 0u);
+    EXPECT_FALSE(mshrs.inFlight(0x100));
+}
+
+TEST(MshrFileDeath, FillWithoutEntryPanics)
+{
+    MshrFile mshrs(4, 2);
+    EXPECT_DEATH(mshrs.completeFill(0xdead00), "no MSHR entry");
+}
+
+TEST(MshrFileDeath, ZeroEntriesIsFatal)
+{
+    EXPECT_DEATH({ MshrFile m(0, 1); }, "entries");
+}
+
+} // namespace
+} // namespace ebm

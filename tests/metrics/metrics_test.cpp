@@ -1,0 +1,175 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+// --- Table III identities -----------------------------------------------
+
+TEST(AppRunStats, CmrIsProductOfMissRates)
+{
+    AppRunStats s;
+    s.l1Mr = 0.5;
+    s.l2Mr = 0.4;
+    EXPECT_DOUBLE_EQ(s.cmr(), 0.2);
+}
+
+TEST(AppRunStats, EbIsBwOverCmr)
+{
+    AppRunStats s;
+    s.bw = 0.3;
+    s.l1Mr = 0.5;
+    s.l2Mr = 0.5;
+    EXPECT_DOUBLE_EQ(s.eb(), 0.3 / 0.25);
+}
+
+TEST(AppRunStats, CacheInsensitiveAppHasEbEqualBw)
+{
+    // The paper: "EB is equal to BW for cache insensitive
+    // applications (e.g., BLK)".
+    AppRunStats s;
+    s.bw = 0.42;
+    s.l1Mr = 1.0;
+    s.l2Mr = 1.0;
+    EXPECT_DOUBLE_EQ(s.eb(), 0.42);
+}
+
+TEST(AppRunStats, HalvedMissRateDoublesEb)
+{
+    // "a miss rate of 50% effectively doubles the bandwidth
+    // delivered".
+    AppRunStats s;
+    s.bw = 0.2;
+    s.l1Mr = 1.0;
+    s.l2Mr = 1.0;
+    const double base = s.eb();
+    s.l2Mr = 0.5;
+    EXPECT_DOUBLE_EQ(s.eb(), 2.0 * base);
+}
+
+TEST(AppRunStats, EbAtL2UsesOnlyL2MissRate)
+{
+    AppRunStats s;
+    s.bw = 0.2;
+    s.l1Mr = 0.5;
+    s.l2Mr = 0.4;
+    EXPECT_DOUBLE_EQ(s.ebAtL2(), 0.5);
+    EXPECT_DOUBLE_EQ(s.eb(), 1.0);
+}
+
+TEST(Slowdown, RatioOfSharedToAlone)
+{
+    EXPECT_DOUBLE_EQ(slowdown(0.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(slowdown(1.0, 1.0), 1.0);
+}
+
+TEST(WeightedSpeedup, SumsSlowdowns)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({0.5, 0.7}), 1.2);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 1.0}), 2.0)
+        << "max WS equals the app count";
+}
+
+TEST(FairnessIndex, OneMeansPerfectlyFair)
+{
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.6, 0.6}), 1.0);
+}
+
+TEST(FairnessIndex, MinOverMaxForTwoApps)
+{
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.3, 0.6}), 0.5);
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.6, 0.3}), 0.5)
+        << "symmetric in app order";
+}
+
+TEST(FairnessIndex, GeneralizesToThreeApps)
+{
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.2, 0.4, 0.8}), 0.25);
+}
+
+TEST(HarmonicSpeedup, MatchesPaperFormulaForTwoApps)
+{
+    const double sd1 = 0.5, sd2 = 0.25;
+    const double expected = 2.0 / (1.0 / sd1 + 1.0 / sd2);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({sd1, sd2}), expected);
+}
+
+TEST(HarmonicSpeedup, EqualSlowdownsGiveThatValue)
+{
+    EXPECT_NEAR(harmonicSpeedup({0.7, 0.7}), 0.7, 1e-12);
+}
+
+// --- EB-based metrics ----------------------------------------------------
+
+TEST(EbMetrics, EbWsSums)
+{
+    EXPECT_DOUBLE_EQ(ebWeightedSpeedup({0.3, 0.5}), 0.8);
+}
+
+TEST(EbMetrics, EbFiUnscaled)
+{
+    EXPECT_DOUBLE_EQ(ebFairnessIndex({0.2, 0.4}), 0.5);
+}
+
+TEST(EbMetrics, EbFiScalingRemovesAloneBias)
+{
+    // App 0 has twice the alone EB of app 1; raw EBs of (0.4, 0.2)
+    // are perfectly fair once scaled.
+    EXPECT_DOUBLE_EQ(ebFairnessIndex({0.4, 0.2}, {2.0, 1.0}), 1.0);
+    EXPECT_LT(ebFairnessIndex({0.4, 0.2}), 1.0);
+}
+
+TEST(EbMetrics, EbHsScaled)
+{
+    const double expected = 2.0 / (1.0 / 0.2 + 1.0 / 0.2);
+    EXPECT_DOUBLE_EQ(ebHarmonicSpeedup({0.4, 0.2}, {2.0, 1.0}),
+                     expected);
+}
+
+TEST(EbMetricsDeath, ScaleSizeMismatchIsFatal)
+{
+    EXPECT_DEATH(ebFairnessIndex({0.4, 0.2}, {1.0}), "scale");
+}
+
+TEST(AloneRatioBias, AlwaysAtLeastOne)
+{
+    EXPECT_DOUBLE_EQ(aloneRatioBias(2.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(aloneRatioBias(1.0, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(aloneRatioBias(3.0, 3.0), 1.0);
+}
+
+// --- Property sweeps ------------------------------------------------------
+
+class MetricProperties : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MetricProperties, FairnessBoundedByOne)
+{
+    const double sd = GetParam();
+    EXPECT_LE(fairnessIndex({sd, 0.5}), 1.0);
+    EXPECT_GE(fairnessIndex({sd, 0.5}), 0.0);
+}
+
+TEST_P(MetricProperties, HarmonicNeverExceedsArithmetic)
+{
+    const double sd = GetParam();
+    EXPECT_LE(harmonicSpeedup({sd, 0.5}),
+              weightedSpeedup({sd, 0.5}) / 2.0 + 1e-12);
+}
+
+TEST_P(MetricProperties, ScalingByCommonFactorKeepsFi)
+{
+    const double sd = GetParam();
+    const double fi1 = ebFairnessIndex({sd, 0.5});
+    const double fi2 = ebFairnessIndex({sd * 3.0, 1.5});
+    EXPECT_NEAR(fi1, fi2, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlowdownSweep, MetricProperties,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,129 @@
+#include "sim/simt_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "sim/gpu.hpp"
+
+namespace ebm {
+namespace {
+
+/**
+ * SimtCore is exercised through a one-core Gpu so the crossbar and
+ * partition plumbing it depends on behaves exactly as in production.
+ */
+class SimtCoreTest : public ::testing::Test
+{
+  protected:
+    GpuConfig
+    oneCoreCfg()
+    {
+        GpuConfig cfg = test::tinyConfig(1);
+        cfg.numCores = 1;
+        return cfg;
+    }
+};
+
+TEST_F(SimtCoreTest, RetiresInstructions)
+{
+    Gpu gpu(oneCoreCfg(), {test::computeApp()});
+    gpu.run(2000);
+    EXPECT_GT(gpu.core(0).instrsRetired(), 0u);
+}
+
+TEST_F(SimtCoreTest, ComputeAppNearlySaturatesIssue)
+{
+    Gpu gpu(oneCoreCfg(), {test::computeApp()});
+    gpu.run(5000);
+    // Two schedulers, compute-dominated: IPC should approach 2/core.
+    EXPECT_GT(gpu.appIpc(0), 1.0);
+}
+
+TEST_F(SimtCoreTest, StreamingAppTouchesMemory)
+{
+    Gpu gpu(oneCoreCfg(), {test::streamingApp()});
+    gpu.run(5000);
+    EXPECT_GT(gpu.core(0).l1().stats().accesses(0), 0u);
+    EXPECT_DOUBLE_EQ(gpu.core(0).l1().stats().missRate(0), 1.0)
+        << "pure streaming never reuses a line";
+    EXPECT_GT(gpu.appDataCycles(0), 0u);
+}
+
+TEST_F(SimtCoreTest, CacheAppHitsInL1)
+{
+    Gpu gpu(oneCoreCfg(), {test::cacheApp()});
+    gpu.run(8000);
+    EXPECT_LT(gpu.core(0).l1().stats().missRate(0), 0.9);
+}
+
+TEST_F(SimtCoreTest, TlpLimitThrottlesProgress)
+{
+    Gpu low(oneCoreCfg(), {test::streamingApp()});
+    low.setAppTlp(0, 1);
+    low.run(5000);
+
+    Gpu high(oneCoreCfg(), {test::streamingApp()});
+    high.setAppTlp(0, 8);
+    high.run(5000);
+
+    EXPECT_GT(high.appInstrs(0), low.appInstrs(0))
+        << "more warps hide more memory latency";
+}
+
+TEST_F(SimtCoreTest, SetTlpLimitAppliesToAllSchedulers)
+{
+    Gpu gpu(oneCoreCfg(), {test::streamingApp()});
+    gpu.setAppTlp(0, 3);
+    EXPECT_EQ(gpu.core(0).tlpLimit(), 3u);
+}
+
+TEST_F(SimtCoreTest, L1BypassForcesAllMisses)
+{
+    Gpu gpu(oneCoreCfg(), {test::cacheApp()});
+    gpu.setAppL1Bypass(0, true);
+    gpu.run(5000);
+    EXPECT_DOUBLE_EQ(gpu.core(0).l1().stats().missRate(0), 1.0);
+}
+
+TEST_F(SimtCoreTest, IdleCyclesAccountedWhenMemoryBound)
+{
+    GpuConfig cfg = oneCoreCfg();
+    Gpu gpu(cfg, {test::streamingApp()});
+    gpu.setAppTlp(0, 1); // One warp per scheduler: long memory stalls.
+    gpu.run(5000);
+    EXPECT_GT(gpu.core(0).idleCycles(), 1000u);
+    EXPECT_GT(gpu.core(0).memWaitCycles(), 1000u);
+    EXPECT_LE(gpu.core(0).memWaitCycles(), gpu.core(0).idleCycles());
+}
+
+TEST_F(SimtCoreTest, ComputeAppBarelyIdles)
+{
+    Gpu gpu(oneCoreCfg(), {test::computeApp()});
+    gpu.run(5000);
+    EXPECT_LT(static_cast<double>(gpu.core(0).memWaitCycles()) / 5000.0,
+              0.5);
+}
+
+TEST_F(SimtCoreTest, CheckpointResetsWindowCounters)
+{
+    Gpu gpu(oneCoreCfg(), {test::streamingApp()});
+    gpu.run(2000);
+    gpu.checkpoint();
+    EXPECT_EQ(gpu.core(0).windowInstrsRetired(), 0u);
+    EXPECT_EQ(gpu.core(0).windowIdleCycles(), 0u);
+    gpu.run(100);
+    EXPECT_GT(gpu.core(0).windowInstrsRetired(), 0u);
+}
+
+TEST_F(SimtCoreTest, ResetClearsProgress)
+{
+    Gpu gpu(oneCoreCfg(), {test::streamingApp()});
+    gpu.run(2000);
+    gpu.reset();
+    EXPECT_EQ(gpu.now(), 0u);
+    EXPECT_EQ(gpu.core(0).instrsRetired(), 0u);
+    EXPECT_EQ(gpu.core(0).l1().stats().accesses(0), 0u);
+}
+
+} // namespace
+} // namespace ebm

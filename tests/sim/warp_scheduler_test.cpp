@@ -1,0 +1,105 @@
+#include "sim/warp_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+std::vector<WarpId>
+warps(std::initializer_list<WarpId> ids)
+{
+    return {ids};
+}
+
+TEST(WarpScheduler, PicksOldestReadyFirst)
+{
+    WarpScheduler sched(warps({0, 2, 4, 6}), 4);
+    const WarpId w =
+        sched.pick([](WarpId) { return true; });
+    EXPECT_EQ(w, 0u);
+}
+
+TEST(WarpScheduler, SkipsNotReadyWarps)
+{
+    WarpScheduler sched(warps({0, 2, 4, 6}), 4);
+    const WarpId w =
+        sched.pick([](WarpId id) { return id >= 4; });
+    EXPECT_EQ(w, 4u);
+}
+
+TEST(WarpScheduler, GreedyStaysWithLastIssued)
+{
+    WarpScheduler sched(warps({0, 2, 4}), 3);
+    sched.issued(2);
+    const WarpId w = sched.pick([](WarpId) { return true; });
+    EXPECT_EQ(w, 2u) << "greedy: keep issuing from the same warp";
+}
+
+TEST(WarpScheduler, GreedyFallsBackToOldestWhenStalled)
+{
+    WarpScheduler sched(warps({0, 2, 4}), 3);
+    sched.issued(2);
+    const WarpId w =
+        sched.pick([](WarpId id) { return id != 2; });
+    EXPECT_EQ(w, 0u);
+}
+
+TEST(WarpScheduler, ReturnsNoWarpWhenNothingReady)
+{
+    WarpScheduler sched(warps({0, 2}), 2);
+    const WarpId w = sched.pick([](WarpId) { return false; });
+    EXPECT_EQ(w, WarpScheduler::kNoWarp);
+}
+
+TEST(WarpScheduler, SwlHidesWarpsBeyondLimit)
+{
+    WarpScheduler sched(warps({0, 2, 4, 6}), /*tlp_limit=*/2);
+    // Only warps 0 and 2 are exposed; 4 is ready but invisible.
+    const WarpId w =
+        sched.pick([](WarpId id) { return id >= 4; });
+    EXPECT_EQ(w, WarpScheduler::kNoWarp);
+}
+
+TEST(WarpScheduler, SwlLimitChangeTakesEffect)
+{
+    WarpScheduler sched(warps({0, 2, 4, 6}), 1);
+    EXPECT_EQ(sched.pick([](WarpId id) { return id == 2; }),
+              WarpScheduler::kNoWarp);
+    sched.setTlpLimit(2);
+    EXPECT_EQ(sched.pick([](WarpId id) { return id == 2; }), 2u);
+}
+
+TEST(WarpScheduler, GreedyWarpOutsideNewLimitIgnored)
+{
+    WarpScheduler sched(warps({0, 2, 4, 6}), 4);
+    sched.issued(6);
+    sched.setTlpLimit(2);
+    const WarpId w = sched.pick([](WarpId) { return true; });
+    EXPECT_EQ(w, 0u) << "warp 6 is outside the SWL window now";
+}
+
+TEST(WarpScheduler, LimitClampedToContextCount)
+{
+    WarpScheduler sched(warps({0, 2}), 99);
+    EXPECT_EQ(sched.tlpLimit(), 2u);
+    sched.setTlpLimit(0);
+    EXPECT_EQ(sched.tlpLimit(), 1u) << "at least one warp stays active";
+}
+
+TEST(WarpScheduler, ActiveWarpsMatchesLimit)
+{
+    WarpScheduler sched(warps({1, 3, 5, 7}), 3);
+    const auto active = sched.activeWarps();
+    ASSERT_EQ(active.size(), 3u);
+    EXPECT_EQ(active[0], 1u);
+    EXPECT_EQ(active[1], 3u);
+    EXPECT_EQ(active[2], 5u);
+}
+
+TEST(WarpSchedulerDeath, EmptyContextListIsFatal)
+{
+    EXPECT_DEATH({ WarpScheduler sched({}, 1); }, "contexts");
+}
+
+} // namespace
+} // namespace ebm

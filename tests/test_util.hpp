@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: a deliberately tiny simulated
+ * GPU so unit and integration tests run in milliseconds, plus small
+ * synthetic application profiles with known behaviour.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "harness/run_result.hpp"
+#include "workload/app_profile.hpp"
+
+namespace ebm::test {
+
+/** A 4-core, 2-partition machine for fast tests. */
+inline GpuConfig
+tinyConfig(std::uint32_t num_apps = 1)
+{
+    GpuConfig cfg;
+    cfg.numCores = 4;
+    cfg.numPartitions = 2;
+    cfg.numApps = num_apps;
+    cfg.maxWarpsPerCore = 16;
+    cfg.schedulersPerCore = 2;
+    cfg.l1 = {8 * 1024, 4, 128, 16, 4};
+    cfg.l2Slice = {64 * 1024, 8, 128, 32, 4};
+    cfg.banksPerChannel = 8;
+    cfg.bankGroups = 4;
+    cfg.frfcfsQueueDepth = 32;
+    return cfg;
+}
+
+/** Short measurement windows to match the tiny machine. */
+inline RunOptions
+tinyOptions()
+{
+    RunOptions opts;
+    opts.warmupCycles = 1000;
+    opts.measureCycles = 6000;
+    opts.windowCycles = 500;
+    return opts;
+}
+
+/** A pure-streaming application (cache-insensitive, BW hungry). */
+inline AppProfile
+streamingApp(const std::string &name = "STREAM", std::uint32_t seed = 7)
+{
+    AppProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.mlpBurst = 4;
+    p.computeRun = 6;
+    p.fracL1Reuse = 0.0;
+    p.fracL2Reuse = 0.0;
+    p.fracRandom = 0.0;
+    return p;
+}
+
+/** A cache-sensitive application (small per-warp working set). */
+inline AppProfile
+cacheApp(const std::string &name = "CACHE", std::uint32_t seed = 11)
+{
+    AppProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.mlpBurst = 4;
+    p.computeRun = 6;
+    p.fracL1Reuse = 0.55;
+    p.fracL2Reuse = 0.30;
+    p.fracRandom = 0.0;
+    p.l1ReuseLines = 12;
+    p.l2ReuseLines = 512;
+    return p;
+}
+
+/** A compute-bound application (its few loads stay L1 resident). */
+inline AppProfile
+computeApp(const std::string &name = "COMPUTE", std::uint32_t seed = 13)
+{
+    AppProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.mlpBurst = 1;
+    p.computeRun = 30;
+    p.fracL1Reuse = 1.0;
+    p.l1ReuseLines = 8;
+    return p;
+}
+
+} // namespace ebm::test

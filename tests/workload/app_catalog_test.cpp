@@ -1,0 +1,96 @@
+#include "workload/app_catalog.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+TEST(AppCatalog, HasTwentySixApps)
+{
+    EXPECT_EQ(appCatalog().size(), 26u) << "Table IV lists 26 apps";
+}
+
+TEST(AppCatalog, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const AppProfile &p : appCatalog())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(AppCatalog, SeedsAreUnique)
+{
+    std::set<std::uint32_t> seeds;
+    for (const AppProfile &p : appCatalog())
+        EXPECT_TRUE(seeds.insert(p.seed).second) << p.name;
+}
+
+TEST(AppCatalog, FractionsAreValid)
+{
+    for (const AppProfile &p : appCatalog()) {
+        EXPECT_GE(p.fracL1Reuse, 0.0) << p.name;
+        EXPECT_GE(p.fracL2Reuse, 0.0) << p.name;
+        EXPECT_GE(p.fracRandom, 0.0) << p.name;
+        EXPECT_GE(p.fracStream(), -1e-12) << p.name;
+        EXPECT_LE(p.fracL1Reuse + p.fracL2Reuse + p.fracRandom, 1.0)
+            << p.name;
+    }
+}
+
+TEST(AppCatalog, MemFractionSpansLowToHigh)
+{
+    double lo = 1.0, hi = 0.0;
+    for (const AppProfile &p : appCatalog()) {
+        lo = std::min(lo, p.memFraction());
+        hi = std::max(hi, p.memFraction());
+    }
+    EXPECT_LT(lo, 0.1) << "catalog needs compute-bound apps";
+    EXPECT_GT(hi, 0.3) << "catalog needs memory-bound apps";
+}
+
+TEST(AppCatalog, WellKnownArchetypesPresent)
+{
+    // Spot checks against the paper's application descriptions.
+    EXPECT_GT(findApp("BFS").fracL1Reuse, 0.3)
+        << "BFS is cache sensitive";
+    EXPECT_DOUBLE_EQ(findApp("BLK").fracL1Reuse, 0.0)
+        << "Blackscholes streams";
+    EXPECT_DOUBLE_EQ(findApp("BLK").fracL2Reuse, 0.0);
+    EXPECT_GT(findApp("GUPS").fracRandom, 0.5)
+        << "GUPS is random access";
+    EXPECT_GT(findApp("GUPS").randomLinesPerAccess, 1u)
+        << "GUPS is uncoalesced";
+    EXPECT_LT(findApp("LUD").memFraction(), 0.1)
+        << "LUD is compute bound";
+}
+
+TEST(AppCatalog, FindAppReturnsMatchingProfile)
+{
+    const AppProfile &p = findApp("FFT");
+    EXPECT_EQ(p.name, "FFT");
+}
+
+TEST(AppCatalog, HasAppAgreesWithFindApp)
+{
+    EXPECT_TRUE(hasApp("TRD"));
+    EXPECT_FALSE(hasApp("NOPE"));
+}
+
+TEST(AppCatalogDeath, UnknownAppIsFatal)
+{
+    EXPECT_DEATH(findApp("NOPE"), "unknown application");
+}
+
+TEST(AppCatalog, EvaluatedSixteenAppsAllPresent)
+{
+    // The 16 apps spanned by the paper's 25 evaluated workloads.
+    for (const char *name :
+         {"DS", "TRD", "BFS", "FFT", "BLK", "FWT", "JPEG", "CFD",
+          "LIB", "LUH", "SCP", "GUPS", "HISTO"}) {
+        EXPECT_TRUE(hasApp(name)) << name;
+    }
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,140 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "sim/gpu.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ebm {
+namespace {
+
+constexpr std::uint32_t kLine = 128;
+
+AppProfile
+storeApp(std::uint32_t stores = 2)
+{
+    AppProfile p = test::streamingApp("WSTREAM", 17);
+    p.mlpBurst = 3;
+    p.computeRun = 4;
+    p.storesPerLoop = stores;
+    return p;
+}
+
+TEST(StoreTraceGen, LoopIncludesTrailingStores)
+{
+    TraceGen gen(storeApp(2), kLine);
+    EXPECT_EQ(gen.loopLength(), 3u + 1 + 4 + 2);
+    // Positions: 0..2 loads, 3 wait, 4..7 computes, 8..9 stores.
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(gen.instrAt(i).isLoad);
+    EXPECT_TRUE(gen.instrAt(3).waitsForMem);
+    for (std::uint64_t i = 4; i < 8; ++i) {
+        EXPECT_FALSE(gen.instrAt(i).isLoad) << i;
+        EXPECT_FALSE(gen.instrAt(i).isStore) << i;
+    }
+    EXPECT_TRUE(gen.instrAt(8).isStore);
+    EXPECT_TRUE(gen.instrAt(9).isStore);
+    EXPECT_TRUE(gen.instrAt(10).isLoad) << "loop repeats";
+}
+
+TEST(StoreTraceGen, MemFractionCountsStores)
+{
+    const AppProfile p = storeApp(2);
+    EXPECT_NEAR(p.memFraction(), 5.0 / 10.0, 1e-12);
+}
+
+TEST(StoreTraceGen, StoreAddressesAdvancePerIteration)
+{
+    TraceGen gen(storeApp(1), kLine);
+    const std::uint64_t store_idx = 8; // First loop's store.
+    const std::uint64_t next_iter = store_idx + gen.loopLength();
+    const Addr a = gen.lineAddr(3, store_idx, 0, 0);
+    const Addr b = gen.lineAddr(3, next_iter, 0, 0);
+    EXPECT_EQ(b - a, kLine) << "output stream is sequential";
+}
+
+TEST(StoreTraceGen, StoreRegionsDisjointFromLoadStreams)
+{
+    TraceGen gen(storeApp(1), kLine);
+    std::set<Addr> loads, stores;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const InstrDesc d = gen.instrAt(i);
+        if (d.isLoad)
+            loads.insert(gen.lineAddr(1, i, 0, i));
+        if (d.isStore)
+            stores.insert(gen.lineAddr(1, i, 0, i));
+    }
+    for (Addr a : stores)
+        EXPECT_EQ(loads.count(a), 0u);
+}
+
+TEST(StoreSim, StoresConsumeDramBandwidth)
+{
+    GpuConfig cfg = test::tinyConfig(1);
+    cfg.numCores = 2;
+
+    AppProfile without = storeApp(0);
+    AppProfile with = storeApp(2);
+
+    Gpu g1(cfg, {without});
+    g1.run(6000);
+    Gpu g2(cfg, {with});
+    g2.run(6000);
+
+    EXPECT_GT(g2.appDataCycles(0), g1.appDataCycles(0))
+        << "store traffic reaches the DRAM data bus";
+}
+
+TEST(StoreSim, StoresDoNotTouchCaches)
+{
+    // Stores bypass both cache levels, so adding stores to a loop
+    // must not increase per-instruction L2 accesses, even though it
+    // adds DRAM traffic.
+    GpuConfig cfg = test::tinyConfig(1);
+    cfg.numCores = 2;
+
+    auto l2_per_instr = [&cfg](const AppProfile &app,
+                               std::uint64_t *data_cycles) {
+        Gpu gpu(cfg, {app});
+        gpu.run(8000);
+        std::uint64_t l2 = 0;
+        for (PartitionId p = 0; p < gpu.numPartitions(); ++p)
+            l2 += gpu.partition(p).l2().stats().accesses(0);
+        *data_cycles = gpu.appDataCycles(0);
+        return static_cast<double>(l2) /
+               static_cast<double>(gpu.appInstrs(0));
+    };
+
+    std::uint64_t data_with = 0, data_without = 0;
+    const double with_stores = l2_per_instr(storeApp(2), &data_with);
+    const double without = l2_per_instr(storeApp(0), &data_without);
+
+    EXPECT_LE(with_stores, without * 1.25 + 0.01)
+        << "stores must not add L2 traffic";
+    EXPECT_GT(data_with, data_without)
+        << "...but they do move extra DRAM data";
+}
+
+TEST(StoreSim, StoresDoNotBlockWarps)
+{
+    // A store-only tail must not reduce instruction throughput the
+    // way a dependent load would: IPC with stores ~ IPC with the
+    // same loop shape where stores are replaced by computes.
+    GpuConfig cfg = test::tinyConfig(1);
+    cfg.numCores = 2;
+
+    AppProfile with = storeApp(2);
+    AppProfile as_compute = storeApp(0);
+    as_compute.computeRun += 2; // Same loop length.
+
+    Gpu g1(cfg, {with});
+    g1.run(8000);
+    Gpu g2(cfg, {as_compute});
+    g2.run(8000);
+
+    EXPECT_GT(g1.appIpc(0), 0.6 * g2.appIpc(0));
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,214 @@
+#include "workload/trace_gen.hpp"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ebm {
+namespace {
+
+constexpr std::uint32_t kLine = 128;
+
+TEST(TraceGen, LoopStructureMatchesProfile)
+{
+    AppProfile p = test::streamingApp();
+    p.mlpBurst = 3;
+    p.computeRun = 5;
+    TraceGen gen(p, kLine);
+    EXPECT_EQ(gen.loopLength(), 9u);
+
+    // First mlpBurst instructions are loads.
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(gen.instrAt(i).isLoad) << "idx " << i;
+    // Then the dependent consumer.
+    EXPECT_FALSE(gen.instrAt(3).isLoad);
+    EXPECT_TRUE(gen.instrAt(3).waitsForMem);
+    // Then pure computes.
+    for (std::uint64_t i = 4; i < 9; ++i) {
+        EXPECT_FALSE(gen.instrAt(i).isLoad);
+        EXPECT_FALSE(gen.instrAt(i).waitsForMem);
+    }
+    // And the loop repeats.
+    EXPECT_TRUE(gen.instrAt(9).isLoad);
+}
+
+TEST(TraceGen, MemFractionMatchesMix)
+{
+    AppProfile p = test::streamingApp();
+    p.mlpBurst = 4;
+    p.computeRun = 6;
+    EXPECT_NEAR(p.memFraction(), 4.0 / 11.0, 1e-12);
+
+    TraceGen gen(p, kLine);
+    std::uint32_t loads = 0;
+    const std::uint32_t n = 11 * 100;
+    for (std::uint64_t i = 0; i < n; ++i)
+        loads += gen.instrAt(i).isLoad ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(loads) / n, p.memFraction(), 1e-9);
+}
+
+TEST(TraceGen, AddressesAreDeterministic)
+{
+    TraceGen gen(test::cacheApp(), kLine);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        if (!gen.instrAt(i).isLoad)
+            continue;
+        EXPECT_EQ(gen.lineAddr(3, i, 0, 7), gen.lineAddr(3, i, 0, 7));
+    }
+}
+
+TEST(TraceGen, AddressesAreLineAligned)
+{
+    TraceGen gen(test::cacheApp(), kLine);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        if (!gen.instrAt(i).isLoad)
+            continue;
+        EXPECT_EQ(gen.lineAddr(1, i, 0, i) % kLine, 0u);
+    }
+}
+
+TEST(TraceGen, CategoryFractionsApproximatelyRespected)
+{
+    AppProfile p;
+    p.name = "MIX";
+    p.seed = 21;
+    p.mlpBurst = 1;
+    p.computeRun = 0;
+    p.fracL1Reuse = 0.25;
+    p.fracL2Reuse = 0.25;
+    p.fracRandom = 0.25; // Remainder 0.25 stream.
+    TraceGen gen(p, kLine);
+
+    std::map<AccessCategory, int> hist;
+    const int n = 20'000;
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(n); ++i) {
+        const InstrDesc d = gen.instrAt(i * 2); // Loads at even idx.
+        if (d.isLoad)
+            ++hist[d.category];
+    }
+    int total = 0;
+    for (const auto &[cat, count] : hist)
+        total += count;
+    for (const auto &[cat, count] : hist)
+        EXPECT_NEAR(static_cast<double>(count) / total, 0.25, 0.03);
+}
+
+TEST(TraceGen, L1ReuseStaysInWorkingSet)
+{
+    AppProfile p = test::cacheApp();
+    p.fracL1Reuse = 1.0;
+    p.fracL2Reuse = 0.0;
+    p.l1ReuseLines = 12;
+    TraceGen gen(p, kLine);
+    std::set<Addr> lines;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        if (gen.instrAt(i).isLoad)
+            lines.insert(gen.lineAddr(5, i, 0, 0));
+    }
+    EXPECT_LE(lines.size(), 12u);
+    EXPECT_GE(lines.size(), 10u) << "most of the set gets touched";
+}
+
+TEST(TraceGen, PrivateRegionsDisjointAcrossWarps)
+{
+    AppProfile p = test::cacheApp();
+    p.fracL1Reuse = 1.0;
+    p.fracL2Reuse = 0.0;
+    TraceGen gen(p, kLine);
+    std::set<Addr> w0, w1;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        if (!gen.instrAt(i).isLoad)
+            continue;
+        w0.insert(gen.lineAddr(0, i, 0, 0));
+        w1.insert(gen.lineAddr(1, i, 0, 0));
+    }
+    for (Addr a : w0)
+        EXPECT_EQ(w1.count(a), 0u);
+}
+
+TEST(TraceGen, SharedRegionOverlapsAcrossWarps)
+{
+    AppProfile p = test::cacheApp();
+    p.fracL1Reuse = 0.0;
+    p.fracL2Reuse = 1.0;
+    p.l2ReuseLines = 64;
+    TraceGen gen(p, kLine);
+    std::set<Addr> w0, w1;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        if (!gen.instrAt(i).isLoad)
+            continue;
+        w0.insert(gen.lineAddr(0, i, 0, 0));
+        w1.insert(gen.lineAddr(1, i, 0, 0));
+    }
+    std::uint32_t overlap = 0;
+    for (Addr a : w0)
+        overlap += w1.count(a);
+    EXPECT_GT(overlap, w0.size() / 2)
+        << "shared structures are shared across warps";
+}
+
+TEST(TraceGen, StreamAdvancesWithStreamPos)
+{
+    AppProfile p = test::streamingApp();
+    TraceGen gen(p, kLine);
+    // Stream addresses differ for consecutive stream positions and
+    // advance by exactly one line.
+    const Addr a0 = gen.lineAddr(2, 0, 0, 100);
+    const Addr a1 = gen.lineAddr(2, 0, 0, 101);
+    EXPECT_EQ(a1 - a0, kLine);
+}
+
+TEST(TraceGen, StreamWrapsAtRegionEnd)
+{
+    AppProfile p = test::streamingApp();
+    p.streamRegionLines = 16;
+    TraceGen gen(p, kLine);
+    EXPECT_EQ(gen.lineAddr(2, 0, 0, 0), gen.lineAddr(2, 0, 0, 16));
+}
+
+TEST(TraceGen, RandomLoadsTouchConfiguredLineCount)
+{
+    AppProfile p;
+    p.name = "RND";
+    p.seed = 31;
+    p.mlpBurst = 2;
+    p.computeRun = 2;
+    p.fracRandom = 1.0;
+    p.randomLinesPerAccess = 4;
+    TraceGen gen(p, kLine);
+    const InstrDesc d = gen.instrAt(0);
+    ASSERT_TRUE(d.isLoad);
+    EXPECT_EQ(d.numLines, 4u);
+    // The lines of one access are distinct.
+    std::set<Addr> lines;
+    for (std::uint32_t l = 0; l < 4; ++l)
+        lines.insert(gen.lineAddr(0, 0, l, 0));
+    EXPECT_EQ(lines.size(), 4u);
+}
+
+TEST(TraceGen, AppBasesDisjoint)
+{
+    EXPECT_NE(appAddressBase(0), appAddressBase(1));
+    EXPECT_GT(appAddressBase(1) - appAddressBase(0), 1ull << 39);
+}
+
+TEST(TraceGenDeath, ZeroMlpBurstIsFatal)
+{
+    AppProfile p = test::streamingApp();
+    p.mlpBurst = 0;
+    EXPECT_DEATH({ TraceGen gen(p, kLine); }, "mlpBurst");
+}
+
+TEST(TraceGenDeath, OverfullFractionsAreFatal)
+{
+    AppProfile p = test::streamingApp();
+    p.fracL1Reuse = 0.7;
+    p.fracL2Reuse = 0.7;
+    EXPECT_DEATH({ TraceGen gen(p, kLine); }, "fractions");
+}
+
+} // namespace
+} // namespace ebm

@@ -1,0 +1,95 @@
+#include "workload/workload_suite.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/app_catalog.hpp"
+
+namespace ebm {
+namespace {
+
+TEST(WorkloadSuite, TenRepresentativeWorkloads)
+{
+    const auto &reps = representativeWorkloads();
+    ASSERT_EQ(reps.size(), 10u);
+    // Exact list from Figs. 4/9/10.
+    const std::set<std::string> expected = {
+        "DS_TRD",   "BFS_FFT",  "BLK_BFS",  "BLK_TRD",  "FFT_TRD",
+        "FWT_TRD",  "JPEG_CFD", "JPEG_LIB", "JPEG_LUH", "SCP_TRD"};
+    std::set<std::string> got;
+    for (const Workload &wl : reps)
+        got.insert(wl.name);
+    EXPECT_EQ(got, expected);
+}
+
+TEST(WorkloadSuite, FullSuiteHasTwentyFivePairs)
+{
+    EXPECT_EQ(fullSuite().size(), 25u);
+}
+
+TEST(WorkloadSuite, FullSuiteContainsRepresentatives)
+{
+    std::set<std::string> full;
+    for (const Workload &wl : fullSuite())
+        full.insert(wl.name);
+    for (const Workload &wl : representativeWorkloads())
+        EXPECT_EQ(full.count(wl.name), 1u) << wl.name;
+}
+
+TEST(WorkloadSuite, FullSuiteNamesUnique)
+{
+    std::set<std::string> names;
+    for (const Workload &wl : fullSuite())
+        EXPECT_TRUE(names.insert(wl.name).second) << wl.name;
+}
+
+TEST(WorkloadSuite, AllPairsAreTwoApps)
+{
+    for (const Workload &wl : fullSuite())
+        EXPECT_EQ(wl.appNames.size(), 2u) << wl.name;
+}
+
+TEST(WorkloadSuite, EveryAppResolvesAgainstCatalog)
+{
+    for (const Workload &wl : fullSuite()) {
+        const auto apps = resolveApps(wl);
+        ASSERT_EQ(apps.size(), 2u);
+        EXPECT_EQ(apps[0].name, wl.appNames[0]);
+        EXPECT_EQ(apps[1].name, wl.appNames[1]);
+    }
+}
+
+TEST(WorkloadSuite, SpansSixteenApps)
+{
+    std::set<std::string> apps;
+    for (const Workload &wl : fullSuite())
+        apps.insert(wl.appNames.begin(), wl.appNames.end());
+    EXPECT_EQ(apps.size(), 16u)
+        << "paper: 25 workloads spanning 16 applications";
+}
+
+TEST(WorkloadSuite, ThreeAppMixesResolve)
+{
+    for (const Workload &wl : threeAppWorkloads()) {
+        EXPECT_EQ(wl.appNames.size(), 3u);
+        EXPECT_EQ(resolveApps(wl).size(), 3u);
+    }
+}
+
+TEST(WorkloadSuite, MakePairBuildsName)
+{
+    const Workload wl = makePair("BFS", "FFT");
+    EXPECT_EQ(wl.name, "BFS_FFT");
+    ASSERT_EQ(wl.appNames.size(), 2u);
+}
+
+TEST(WorkloadSuiteDeath, EmptyWorkloadIsFatal)
+{
+    Workload wl;
+    wl.name = "EMPTY";
+    EXPECT_DEATH(resolveApps(wl), "no apps");
+}
+
+} // namespace
+} // namespace ebm
