@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_signal_choice.dir/abl_signal_choice.cpp.o"
+  "CMakeFiles/abl_signal_choice.dir/abl_signal_choice.cpp.o.d"
+  "abl_signal_choice"
+  "abl_signal_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_signal_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

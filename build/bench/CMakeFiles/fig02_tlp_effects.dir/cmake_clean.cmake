@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tlp_effects.dir/fig02_tlp_effects.cpp.o"
+  "CMakeFiles/fig02_tlp_effects.dir/fig02_tlp_effects.cpp.o.d"
+  "fig02_tlp_effects"
+  "fig02_tlp_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tlp_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

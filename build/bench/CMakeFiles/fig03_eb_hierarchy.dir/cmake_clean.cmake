@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_eb_hierarchy.dir/fig03_eb_hierarchy.cpp.o"
+  "CMakeFiles/fig03_eb_hierarchy.dir/fig03_eb_hierarchy.cpp.o.d"
+  "fig03_eb_hierarchy"
+  "fig03_eb_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_eb_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ws_eb_gap.dir/fig04_ws_eb_gap.cpp.o"
+  "CMakeFiles/fig04_ws_eb_gap.dir/fig04_ws_eb_gap.cpp.o.d"
+  "fig04_ws_eb_gap"
+  "fig04_ws_eb_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ws_eb_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

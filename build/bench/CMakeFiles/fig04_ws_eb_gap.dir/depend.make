@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_ws_eb_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_alone_ratios.dir/fig05_alone_ratios.cpp.o"
+  "CMakeFiles/fig05_alone_ratios.dir/fig05_alone_ratios.cpp.o.d"
+  "fig05_alone_ratios"
+  "fig05_alone_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_alone_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_patterns_ws.dir/fig06_patterns_ws.cpp.o"
+  "CMakeFiles/fig06_patterns_ws.dir/fig06_patterns_ws.cpp.o.d"
+  "fig06_patterns_ws"
+  "fig06_patterns_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_patterns_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_patterns_fi_hs.cpp" "bench/CMakeFiles/fig07_patterns_fi_hs.dir/fig07_patterns_fi_hs.cpp.o" "gcc" "bench/CMakeFiles/fig07_patterns_fi_hs.dir/fig07_patterns_fi_hs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ebm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ebm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ebm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ebm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ebm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_patterns_fi_hs.dir/fig07_patterns_fi_hs.cpp.o"
+  "CMakeFiles/fig07_patterns_fi_hs.dir/fig07_patterns_fi_hs.cpp.o.d"
+  "fig07_patterns_fi_hs"
+  "fig07_patterns_fi_hs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_patterns_fi_hs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_patterns_fi_hs.
+# This may be replaced when dependencies are built.

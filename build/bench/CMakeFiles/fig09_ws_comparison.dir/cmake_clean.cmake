@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ws_comparison.dir/fig09_ws_comparison.cpp.o"
+  "CMakeFiles/fig09_ws_comparison.dir/fig09_ws_comparison.cpp.o.d"
+  "fig09_ws_comparison"
+  "fig09_ws_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ws_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

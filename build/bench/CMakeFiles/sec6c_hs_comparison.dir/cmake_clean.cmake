@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6c_hs_comparison.dir/sec6c_hs_comparison.cpp.o"
+  "CMakeFiles/sec6c_hs_comparison.dir/sec6c_hs_comparison.cpp.o.d"
+  "sec6c_hs_comparison"
+  "sec6c_hs_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6c_hs_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

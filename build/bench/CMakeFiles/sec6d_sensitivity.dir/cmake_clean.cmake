@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6d_sensitivity.dir/sec6d_sensitivity.cpp.o"
+  "CMakeFiles/sec6d_sensitivity.dir/sec6d_sensitivity.cpp.o.d"
+  "sec6d_sensitivity"
+  "sec6d_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6d_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

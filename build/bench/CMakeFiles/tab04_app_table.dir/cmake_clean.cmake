@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_app_table.dir/tab04_app_table.cpp.o"
+  "CMakeFiles/tab04_app_table.dir/tab04_app_table.cpp.o.d"
+  "tab04_app_table"
+  "tab04_app_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_app_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

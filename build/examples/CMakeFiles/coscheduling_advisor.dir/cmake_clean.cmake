@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coscheduling_advisor.dir/coscheduling_advisor.cpp.o"
+  "CMakeFiles/coscheduling_advisor.dir/coscheduling_advisor.cpp.o.d"
+  "coscheduling_advisor"
+  "coscheduling_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coscheduling_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_app_study.dir/custom_app_study.cpp.o"
+  "CMakeFiles/custom_app_study.dir/custom_app_study.cpp.o.d"
+  "custom_app_study"
+  "custom_app_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_app_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_study.dir/fairness_study.cpp.o"
+  "CMakeFiles/fairness_study.dir/fairness_study.cpp.o.d"
+  "fairness_study"
+  "fairness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_landscape.dir/tlp_landscape.cpp.o"
+  "CMakeFiles/tlp_landscape.dir/tlp_landscape.cpp.o.d"
+  "tlp_landscape"
+  "tlp_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

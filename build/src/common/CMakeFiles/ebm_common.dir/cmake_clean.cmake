@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_common.dir/config.cpp.o"
+  "CMakeFiles/ebm_common.dir/config.cpp.o.d"
+  "libebm_common.a"
+  "libebm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

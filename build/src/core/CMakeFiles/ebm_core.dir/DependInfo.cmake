@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ccws.cpp" "src/core/CMakeFiles/ebm_core.dir/ccws.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/ccws.cpp.o.d"
+  "/root/repo/src/core/dyncta.cpp" "src/core/CMakeFiles/ebm_core.dir/dyncta.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/dyncta.cpp.o.d"
+  "/root/repo/src/core/eb_monitor.cpp" "src/core/CMakeFiles/ebm_core.dir/eb_monitor.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/eb_monitor.cpp.o.d"
+  "/root/repo/src/core/mod_bypass.cpp" "src/core/CMakeFiles/ebm_core.dir/mod_bypass.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/mod_bypass.cpp.o.d"
+  "/root/repo/src/core/pbs_policy.cpp" "src/core/CMakeFiles/ebm_core.dir/pbs_policy.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/pbs_policy.cpp.o.d"
+  "/root/repo/src/core/pbs_search.cpp" "src/core/CMakeFiles/ebm_core.dir/pbs_search.cpp.o" "gcc" "src/core/CMakeFiles/ebm_core.dir/pbs_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ebm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ebm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ebm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

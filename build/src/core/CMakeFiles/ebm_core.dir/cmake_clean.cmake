@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_core.dir/ccws.cpp.o"
+  "CMakeFiles/ebm_core.dir/ccws.cpp.o.d"
+  "CMakeFiles/ebm_core.dir/dyncta.cpp.o"
+  "CMakeFiles/ebm_core.dir/dyncta.cpp.o.d"
+  "CMakeFiles/ebm_core.dir/eb_monitor.cpp.o"
+  "CMakeFiles/ebm_core.dir/eb_monitor.cpp.o.d"
+  "CMakeFiles/ebm_core.dir/mod_bypass.cpp.o"
+  "CMakeFiles/ebm_core.dir/mod_bypass.cpp.o.d"
+  "CMakeFiles/ebm_core.dir/pbs_policy.cpp.o"
+  "CMakeFiles/ebm_core.dir/pbs_policy.cpp.o.d"
+  "CMakeFiles/ebm_core.dir/pbs_search.cpp.o"
+  "CMakeFiles/ebm_core.dir/pbs_search.cpp.o.d"
+  "libebm_core.a"
+  "libebm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/disk_cache.cpp" "src/harness/CMakeFiles/ebm_harness.dir/disk_cache.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/disk_cache.cpp.o.d"
+  "/root/repo/src/harness/exhaustive.cpp" "src/harness/CMakeFiles/ebm_harness.dir/exhaustive.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/ebm_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/profile_db.cpp" "src/harness/CMakeFiles/ebm_harness.dir/profile_db.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/profile_db.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/ebm_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/ebm_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/runner.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/harness/CMakeFiles/ebm_harness.dir/table.cpp.o" "gcc" "src/harness/CMakeFiles/ebm_harness.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ebm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ebm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ebm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ebm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

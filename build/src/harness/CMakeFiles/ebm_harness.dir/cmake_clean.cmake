@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_harness.dir/disk_cache.cpp.o"
+  "CMakeFiles/ebm_harness.dir/disk_cache.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/exhaustive.cpp.o"
+  "CMakeFiles/ebm_harness.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ebm_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/profile_db.cpp.o"
+  "CMakeFiles/ebm_harness.dir/profile_db.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/report.cpp.o"
+  "CMakeFiles/ebm_harness.dir/report.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/runner.cpp.o"
+  "CMakeFiles/ebm_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/ebm_harness.dir/table.cpp.o"
+  "CMakeFiles/ebm_harness.dir/table.cpp.o.d"
+  "libebm_harness.a"
+  "libebm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

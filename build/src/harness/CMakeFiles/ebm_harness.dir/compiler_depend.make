@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ebm_harness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_mem.dir/address_map.cpp.o"
+  "CMakeFiles/ebm_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/ebm_mem.dir/cache.cpp.o"
+  "CMakeFiles/ebm_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/ebm_mem.dir/dram.cpp.o"
+  "CMakeFiles/ebm_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/ebm_mem.dir/memory_partition.cpp.o"
+  "CMakeFiles/ebm_mem.dir/memory_partition.cpp.o.d"
+  "CMakeFiles/ebm_mem.dir/mshr.cpp.o"
+  "CMakeFiles/ebm_mem.dir/mshr.cpp.o.d"
+  "CMakeFiles/ebm_mem.dir/tag_array.cpp.o"
+  "CMakeFiles/ebm_mem.dir/tag_array.cpp.o.d"
+  "libebm_mem.a"
+  "libebm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

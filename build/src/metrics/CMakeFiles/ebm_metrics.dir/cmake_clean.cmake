@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/ebm_metrics.dir/metrics.cpp.o.d"
+  "libebm_metrics.a"
+  "libebm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/ebm_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/ebm_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/simt_core.cpp" "src/sim/CMakeFiles/ebm_sim.dir/simt_core.cpp.o" "gcc" "src/sim/CMakeFiles/ebm_sim.dir/simt_core.cpp.o.d"
+  "/root/repo/src/sim/warp_scheduler.cpp" "src/sim/CMakeFiles/ebm_sim.dir/warp_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/ebm_sim.dir/warp_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ebm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_sim.dir/gpu.cpp.o"
+  "CMakeFiles/ebm_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/ebm_sim.dir/simt_core.cpp.o"
+  "CMakeFiles/ebm_sim.dir/simt_core.cpp.o.d"
+  "CMakeFiles/ebm_sim.dir/warp_scheduler.cpp.o"
+  "CMakeFiles/ebm_sim.dir/warp_scheduler.cpp.o.d"
+  "libebm_sim.a"
+  "libebm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

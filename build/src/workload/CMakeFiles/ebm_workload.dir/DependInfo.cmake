@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_catalog.cpp" "src/workload/CMakeFiles/ebm_workload.dir/app_catalog.cpp.o" "gcc" "src/workload/CMakeFiles/ebm_workload.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/ebm_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/ebm_workload.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/workload_suite.cpp" "src/workload/CMakeFiles/ebm_workload.dir/workload_suite.cpp.o" "gcc" "src/workload/CMakeFiles/ebm_workload.dir/workload_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

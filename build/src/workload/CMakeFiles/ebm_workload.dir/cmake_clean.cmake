@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebm_workload.dir/app_catalog.cpp.o"
+  "CMakeFiles/ebm_workload.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/ebm_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/ebm_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/ebm_workload.dir/workload_suite.cpp.o"
+  "CMakeFiles/ebm_workload.dir/workload_suite.cpp.o.d"
+  "libebm_workload.a"
+  "libebm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

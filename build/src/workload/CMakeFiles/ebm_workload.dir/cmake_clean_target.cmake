@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libebm_workload.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bounded_queue_test.cpp" "tests/CMakeFiles/test_common.dir/common/bounded_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/bounded_queue_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ebm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ebm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ebm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ebm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ebm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ebm_common.dir/DependInfo.cmake"
+  "/root/repo/build/_googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/_googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

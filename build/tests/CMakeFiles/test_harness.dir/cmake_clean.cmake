@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/disk_cache_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/disk_cache_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/exhaustive_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/exhaustive_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/experiment_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/experiment_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/report_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/report_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/runner_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/runner_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/table_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/table_test.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

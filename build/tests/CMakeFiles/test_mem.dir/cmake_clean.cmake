@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/address_map_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/address_map_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/cache_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/cache_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/dram_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/dram_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/dram_timing_property_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/dram_timing_property_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/memory_partition_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/memory_partition_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/mshr_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/mshr_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/tag_array_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/tag_array_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/way_partition_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/way_partition_test.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
