@@ -13,6 +13,7 @@
  */
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 
@@ -38,7 +39,7 @@ argmaxRawBw(const ComboTable &table)
 } // namespace
 
 int
-main()
+run()
 {
     Experiment exp(2);
     std::printf("Ablation: optimization-signal choice. WS of each "
@@ -85,5 +86,13 @@ main()
                 "high-IPC apps and the raw-BW argmax toward "
                 "cache-insensitive apps, so both leave WS on the "
                 "table on cache-sensitive pairs.\n");
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("abl_signal_choice", run);
 }

@@ -6,13 +6,14 @@
  */
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 
 using namespace ebm;
 
 int
-main()
+run()
 {
     Experiment exp(2);
     const Workload wl = makePair("BFS", "FFT");
@@ -57,5 +58,13 @@ main()
 
     std::printf("\nPaper shape: optWS/optFI clearly above ++bestTLP; "
                 "++maxTLP at or below it.\n");
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("fig01_motivation", run);
 }

@@ -7,13 +7,14 @@
  */
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 
 using namespace ebm;
 
 int
-main()
+run()
 {
     Experiment exp(2);
 
@@ -61,5 +62,13 @@ main()
     std::printf("\nPaper shape: optWS achieves both higher WS and "
                 "higher EB-WS than ++bestTLP on (almost) every "
                 "workload (Observation 1).\n");
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("fig04_ws_eb_gap", run);
 }

@@ -10,6 +10,7 @@
  */
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/metrics.hpp"
 
@@ -43,7 +44,7 @@ inflectionLevel(const ComboTable &table, std::uint32_t co_tlp,
 } // namespace
 
 int
-main()
+run()
 {
     Experiment exp(2);
     const Workload wl = makePair("BLK", "TRD");
@@ -103,5 +104,13 @@ main()
     std::printf("\nPaper shape: the knee of the critical app stays at "
                 "the same (or adjacent) TLP level regardless of the "
                 "co-runner's TLP — the 'pattern' PBS relies on.\n");
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("fig06_patterns_ws", run);
 }

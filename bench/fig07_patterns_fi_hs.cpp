@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
@@ -17,7 +18,7 @@
 using namespace ebm;
 
 int
-main()
+run()
 {
     Experiment exp(2);
     const Workload wl = makePair("BLK", "TRD");
@@ -115,5 +116,13 @@ main()
     std::printf("\nPaper shape: the FI search stops where the scaled "
                 "EB-difference is nearest zero; exact scaling lands "
                 "closer to optFI than approximate scaling.\n");
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("fig07_patterns_fi_hs", run);
 }

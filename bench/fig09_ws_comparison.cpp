@@ -9,7 +9,7 @@
 #include "scheme_eval.hpp"
 
 int
-main()
+run()
 {
     ebm::Experiment exp(2);
     ebm::bench::runComparison(
@@ -20,4 +20,10 @@ main()
         "++DynCTA and Mod+Bypass, close to BF-WS and within a few "
         "percent of optWS.\n");
     return 0;
+}
+
+int
+main()
+{
+    return ebm::runGuarded("fig09_ws_comparison", run);
 }

@@ -9,7 +9,7 @@
 #include "scheme_eval.hpp"
 
 int
-main()
+run()
 {
     ebm::Experiment exp(2);
     ebm::bench::runComparison(
@@ -21,4 +21,10 @@ main()
         "adaptation sometimes letting PBS-FI beat its offline "
         "variant.\n");
     return 0;
+}
+
+int
+main()
+{
+    return ebm::runGuarded("fig10_fi_comparison", run);
 }

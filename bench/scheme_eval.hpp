@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/dyncta.hpp"
 #include "core/mod_bypass.hpp"
 #include "core/pbs_policy.hpp"
@@ -193,6 +194,8 @@ runComparison(Experiment &exp, Report report, const std::string &title)
         gmean_row.push_back(TextTable::num(gmean(norm_values[name])));
     out.addRow(std::move(gmean_row));
     out.print();
+    std::printf("\n%s\n",
+                exp.exhaustive().status().summaryLine().c_str());
 }
 
 } // namespace ebm::bench

@@ -9,7 +9,7 @@
 #include "scheme_eval.hpp"
 
 int
-main()
+run()
 {
     ebm::Experiment exp(2);
     ebm::bench::runComparison(
@@ -21,4 +21,10 @@ main()
         "above the local-heuristic baselines and near the optHS "
         "bound.\n");
     return 0;
+}
+
+int
+main()
+{
+    return ebm::runGuarded("sec6c_hs_comparison", run);
 }

@@ -7,6 +7,7 @@
  */
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "core/dyncta.hpp"
 #include "core/pbs_policy.hpp"
 #include "harness/experiment.hpp"
@@ -31,7 +32,7 @@ wsOf(const RunResult &result, const std::vector<double> &alone)
 } // namespace
 
 int
-main()
+run()
 {
     std::printf("Section VI-D: sensitivity studies\n");
 
@@ -196,4 +197,10 @@ main()
                     "scaled machine settles faster).\n");
     }
     return 0;
+}
+
+int
+main()
+{
+    return runGuarded("sec6d_sensitivity", run);
 }

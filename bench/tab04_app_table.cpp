@@ -27,11 +27,13 @@ main()
                    "r_m", "Group"});
     for (const AppProfile &app : appCatalog()) {
         const AppAloneProfile &prof = exp.profiles().profile(app);
+        std::string group = "G";
+        group += std::to_string(prof.group);
         out.addRow({app.name, std::to_string(prof.bestTlp),
                     TextTable::num(prof.ipcAtBest, 2),
                     TextTable::num(prof.ebAtBest),
                     TextTable::num(app.memFraction(), 2),
-                    "G" + std::to_string(prof.group)});
+                    group});
     }
     out.print();
 

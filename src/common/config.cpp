@@ -24,28 +24,61 @@ GpuConfig::peakBytesPerCoreCycle() const
     return numPartitions * bytes_per_dram_cycle * dramClockRatio;
 }
 
+std::vector<Error>
+GpuConfig::check() const
+{
+    std::vector<Error> errors;
+    const auto bad = [&errors](const std::string &msg) {
+        errors.push_back({Errc::InvalidConfig, msg});
+    };
+
+    if (numApps == 0)
+        bad("GpuConfig: numApps must be >= 1 (set numApps before use)");
+    if (numCores == 0)
+        bad("GpuConfig: numCores must be >= 1");
+    if (numApps != 0 && numCores % numApps != 0) {
+        bad("GpuConfig: numCores (" + std::to_string(numCores) +
+            ") must divide evenly among " + std::to_string(numApps) +
+            " apps (trim numCores to a multiple of numApps)");
+    }
+    if (schedulersPerCore == 0)
+        bad("GpuConfig: schedulersPerCore must be >= 1");
+    else if (maxWarpsPerCore % schedulersPerCore != 0)
+        bad("GpuConfig: warps must divide evenly among schedulers");
+    if (simtWidth == 0)
+        bad("GpuConfig: simtWidth must be >= 1");
+    if (numPartitions == 0)
+        bad("GpuConfig: numPartitions must be >= 1");
+    if (l1.lineBytes != l2Slice.lineBytes)
+        bad("GpuConfig: L1 and L2 line sizes must match");
+    if (interleaveBytes < l2Slice.lineBytes)
+        bad("GpuConfig: interleave chunk smaller than a cache line");
+    if (bankGroups == 0)
+        bad("GpuConfig: bankGroups must be >= 1");
+    else if (banksPerChannel % bankGroups != 0)
+        bad("GpuConfig: banks must divide evenly among bank groups");
+    if (l1.assoc == 0 || l1.lineBytes == 0 || l1.numSets() == 0 ||
+        l2Slice.assoc == 0 || l2Slice.lineBytes == 0 ||
+        l2Slice.numSets() == 0) {
+        bad("GpuConfig: cache geometry yields zero sets "
+            "(sizeBytes must be >= assoc * lineBytes)");
+    }
+    if (dramClockRatio <= 0.0 || dramClockRatio > 4.0)
+        bad("GpuConfig: implausible dramClockRatio (expected (0, 4])");
+    if (rowBytes < interleaveBytes)
+        bad("GpuConfig: row buffer smaller than the interleave chunk");
+    return errors;
+}
+
 void
 GpuConfig::validate() const
 {
-    if (numApps == 0)
-        fatal("GpuConfig: numApps must be >= 1");
-    if (numCores % numApps != 0) {
-        fatal("GpuConfig: numCores (" + std::to_string(numCores) +
-              ") must divide evenly among " + std::to_string(numApps) +
-              " apps");
-    }
-    if (maxWarpsPerCore % schedulersPerCore != 0)
-        fatal("GpuConfig: warps must divide evenly among schedulers");
-    if (l1.lineBytes != l2Slice.lineBytes)
-        fatal("GpuConfig: L1 and L2 line sizes must match");
-    if (interleaveBytes < l2Slice.lineBytes)
-        fatal("GpuConfig: interleave chunk smaller than a cache line");
-    if (banksPerChannel % bankGroups != 0)
-        fatal("GpuConfig: banks must divide evenly among bank groups");
-    if (l1.numSets() == 0 || l2Slice.numSets() == 0)
-        fatal("GpuConfig: cache geometry yields zero sets");
-    if (dramClockRatio <= 0.0 || dramClockRatio > 4.0)
-        fatal("GpuConfig: implausible dramClockRatio");
+    const std::vector<Error> errors = check();
+    if (errors.empty())
+        return;
+    fatal(Error{Errc::InvalidConfig,
+                "GpuConfig: " + std::to_string(errors.size()) +
+                    " problem(s):\n  " + joinErrors(errors)});
 }
 
 } // namespace ebm

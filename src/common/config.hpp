@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace ebm {
@@ -124,7 +125,13 @@ struct GpuConfig
      */
     double peakBytesPerCoreCycle() const;
 
-    /** Validate internal consistency; calls fatal() on bad configs. */
+    /**
+     * Collect *all* consistency problems (not just the first), with
+     * actionable messages. Empty = valid.
+     */
+    std::vector<Error> check() const;
+
+    /** Validate internal consistency; fatal() listing every problem. */
     void validate() const;
 };
 

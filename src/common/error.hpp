@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Structured error model for the whole simulator.
+ *
+ * Library code reports failures through three channels, by severity:
+ *   - Error / Result<T>: recoverable conditions the caller is expected
+ *     to handle (a corrupt cache entry, an unwritable directory).
+ *   - FatalError (thrown by fatal()): a user/configuration error the
+ *     current operation cannot survive; harness entry points catch it,
+ *     print the message, and exit cleanly.
+ *   - InternalError (thrown by panic()): a violated invariant — a
+ *     simulator bug. Opt-in hard abort (EBM_ABORT_ON_PANIC=1) keeps
+ *     the old core-dump behaviour for debugger use.
+ *
+ * Nothing below src/harness ever calls std::exit or std::abort on its
+ * own (the opt-in panic abort excepted).
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ebm {
+
+/** Machine-readable failure category. */
+enum class Errc : std::uint8_t {
+    InvalidConfig,   ///< Bad GpuConfig / RunOptions values.
+    InvalidArgument, ///< Bad argument to a library call.
+    CacheCorrupt,    ///< On-disk cache failed validation.
+    CacheIo,         ///< Cache file could not be read/written.
+    InvalidSample,   ///< EB sample failed sanity checks.
+    SearchFailed,    ///< PBS search could not converge.
+    RunFailed,       ///< A simulation run failed (or was injected).
+    Internal,        ///< Violated invariant — a simulator bug.
+};
+
+/** Name of an error category, for messages and logs. */
+inline const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::InvalidConfig:   return "invalid-config";
+      case Errc::InvalidArgument: return "invalid-argument";
+      case Errc::CacheCorrupt:    return "cache-corrupt";
+      case Errc::CacheIo:         return "cache-io";
+      case Errc::InvalidSample:   return "invalid-sample";
+      case Errc::SearchFailed:    return "search-failed";
+      case Errc::RunFailed:       return "run-failed";
+      case Errc::Internal:        return "internal";
+    }
+    return "unknown";
+}
+
+/** One structured failure: category plus an actionable message. */
+struct Error
+{
+    Errc code = Errc::Internal;
+    std::string message;
+
+    std::string
+    toString() const
+    {
+        return std::string("[") + errcName(code) + "] " + message;
+    }
+};
+
+/** Join several errors into one multi-line report (all problems). */
+inline std::string
+joinErrors(const std::vector<Error> &errors)
+{
+    std::string out;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i != 0)
+            out += "\n  ";
+        out += errors[i].toString();
+    }
+    return out;
+}
+
+/** Unrecoverable user/configuration error (thrown by fatal()). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(Error error)
+        : std::runtime_error(error.toString()), error_(std::move(error))
+    {
+    }
+
+    const Error &error() const { return error_; }
+    Errc code() const { return error_.code; }
+
+  private:
+    Error error_;
+};
+
+/** Violated invariant — a simulator bug (thrown by panic()). */
+class InternalError : public FatalError
+{
+  public:
+    explicit InternalError(std::string message)
+        : FatalError({Errc::Internal, std::move(message)})
+    {
+    }
+};
+
+/**
+ * Value-or-error return type for recoverable failure paths.
+ *
+ * A deliberately small subset of the usual expected<T, E> surface:
+ * construct with a T or an Error, test ok(), then value()/error().
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : payload_(std::move(value)) {}
+    Result(Error error) : payload_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(payload_); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        if (!ok())
+            throw FatalError(std::get<Error>(payload_));
+        return std::get<T>(payload_);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw FatalError(std::get<Error>(payload_));
+        return std::get<T>(payload_);
+    }
+
+    /** The held value, or @p fallback when this is an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(payload_) : std::move(fallback);
+    }
+
+    const Error &error() const { return std::get<Error>(payload_); }
+
+  private:
+    std::variant<T, Error> payload_;
+};
+
+/** Result specialization for operations with no payload. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), failed_(true) {}
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+    const Error &error() const { return error_; }
+
+    static Status success() { return Status(); }
+
+  private:
+    Error error_;
+    bool failed_ = false;
+};
+
+} // namespace ebm

@@ -1,11 +1,15 @@
 /**
  * @file
- * Minimal logging / error-exit helpers in the gem5 spirit.
+ * Minimal logging / error helpers in the gem5 spirit.
  *
  * - fatal():  the simulation cannot continue due to a user error
- *             (bad configuration, invalid arguments); exits with code 1.
+ *             (bad configuration, invalid arguments); throws
+ *             FatalError so harness entry points can report and exit
+ *             cleanly — library code never calls std::exit.
  * - panic():  an internal invariant was violated (a simulator bug);
- *             aborts so a core dump / debugger can be attached.
+ *             throws InternalError by default. Set EBM_ABORT_ON_PANIC=1
+ *             (or setPanicAborts(true)) to abort instead so a core
+ *             dump / debugger can be attached.
  * - warn():   something may behave approximately; execution continues.
  * - inform(): status messages with no connotation of misbehaviour.
  */
@@ -15,33 +19,54 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/error.hpp"
+
 namespace ebm {
 
 namespace detail {
 
-[[noreturn]] inline void
-exitMessage(const char *tag, const std::string &msg, bool hard_abort)
+/** Mutable panic behaviour (overridable in tests / debug sessions). */
+inline bool &
+panicAbortsFlag()
 {
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
-    if (hard_abort)
-        std::abort();
-    std::exit(1);
+    static bool aborts = [] {
+        const char *env = std::getenv("EBM_ABORT_ON_PANIC");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    return aborts;
 }
 
 } // namespace detail
 
-/** Terminate due to a user/configuration error. */
+/** Whether panic() hard-aborts (core dump) instead of throwing. */
+inline bool panicAborts() { return detail::panicAbortsFlag(); }
+
+/** Override the panic behaviour (tests, debugger sessions). */
+inline void setPanicAborts(bool aborts) { detail::panicAbortsFlag() = aborts; }
+
+/** Terminate the current operation due to a user/configuration error. */
+[[noreturn]] inline void
+fatal(Error error)
+{
+    std::fprintf(stderr, "fatal: %s\n", error.message.c_str());
+    throw FatalError(std::move(error));
+}
+
+/** Convenience overload: a fatal with the generic config category. */
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    detail::exitMessage("fatal", msg, false);
+    fatal(Error{Errc::InvalidConfig, msg});
 }
 
-/** Terminate due to an internal simulator bug. */
+/** Report an internal simulator bug. */
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    detail::exitMessage("panic", msg, true);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    if (panicAborts())
+        std::abort();
+    throw InternalError(msg);
 }
 
 /** Non-fatal warning. */
@@ -56,6 +81,26 @@ inline void
 inform(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/**
+ * Run @p body under the library's failure model: FatalError (and any
+ * std::exception) is reported to stderr and converted to exit code 1
+ * instead of an abort. Harness/bench entry points wrap main in this.
+ */
+template <typename Fn>
+int
+runGuarded(const char *what, Fn &&body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: aborted: %s\n", what, e.what());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: unexpected error: %s\n", what,
+                     e.what());
+    }
+    return 1;
 }
 
 } // namespace ebm

@@ -1,9 +1,14 @@
 #include "core/eb_monitor.hpp"
 
+#include <cmath>
+#include <limits>
+
 namespace ebm {
 
-EbMonitor::EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency)
-    : gpu_(gpu), mode_(mode), relayLatency_(relay_latency)
+EbMonitor::EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency,
+                     FaultInjector *injector)
+    : gpu_(gpu), mode_(mode), relayLatency_(relay_latency),
+      injector_(injector)
 {
 }
 
@@ -67,7 +72,70 @@ EbMonitor::closeWindow(Cycle)
         }
         sample.totalBw += out.bw;
     }
+
+    // Injected sensor faults (robustness tests): a NaN relay glitch,
+    // a zeroed counter bank, or one application draining to idle.
+    if (injector_ != nullptr && num_apps > 0) {
+        using P = FaultInjector::Point;
+        if (injector_->shouldFire(P::EbSampleNan)) {
+            AppRunStats &a = sample.apps[0];
+            a.bw = std::numeric_limits<double>::quiet_NaN();
+            a.l1Mr = std::numeric_limits<double>::quiet_NaN();
+            sample.totalBw = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (injector_->shouldFire(P::EbSampleZero)) {
+            for (AppRunStats &a : sample.apps)
+                a = AppRunStats{0.0, 0.0, 1.0, 1.0};
+            sample.totalBw = 0.0;
+        }
+        if (injector_->shouldFire(P::AppDrain)) {
+            // A drained app has no traffic: zero BW, and the zero-
+            // access miss-rate convention (1.0) everywhere.
+            AppRunStats &a = sample.apps[num_apps - 1];
+            sample.totalBw -= a.bw;
+            a = AppRunStats{0.0, 0.0, 1.0, 1.0};
+        }
+    }
+
+    guardSample(sample);
     return sample;
+}
+
+void
+EbMonitor::guardSample(EbSample &sample)
+{
+    // An application with zero attained bandwidth *and* the
+    // zero-access miss-rate convention at both levels issued no
+    // memory traffic at all this window — it has drained (or stalled
+    // completely). Its EB is meaningless, so the window must not
+    // steer the search.
+    bool idle_app = false;
+    for (const AppRunStats &a : sample.apps) {
+        if (a.bw == 0.0 && a.l1Mr >= 1.0 && a.l2Mr >= 1.0)
+            idle_app = true;
+    }
+
+    if (sample.sane() && !idle_app) {
+        lastGood_ = sample;
+        lastGood_.degraded = false;
+        return;
+    }
+
+    ++invalidWindows_;
+    // Freeze: hand back the last good observables (flagged) so any
+    // consumer that does read the numbers sees finite, physical
+    // values instead of NaN. Before the first good window, fall back
+    // to harmless zeros.
+    const std::vector<std::uint32_t> tlp = sample.tlp;
+    if (lastGood_.apps.size() == sample.apps.size()) {
+        sample = lastGood_;
+    } else {
+        for (AppRunStats &a : sample.apps)
+            a = AppRunStats{0.0, 0.0, 1.0, 1.0};
+        sample.totalBw = 0.0;
+    }
+    sample.tlp = tlp;
+    sample.degraded = true;
 }
 
 EbMonitor::HardwareCost

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault_injector.hpp"
 #include "common/types.hpp"
 #include "core/eb_sample.hpp"
 #include "sim/gpu.hpp"
@@ -38,8 +39,10 @@ class EbMonitor
      * @param gpu            machine to observe
      * @param mode           sampling scope
      * @param relay_latency  core cycles to relay counters to the cores
+     * @param injector       optional fault injection (tests only)
      */
-    EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency = 100);
+    EbMonitor(const Gpu &gpu, Mode mode, Cycle relay_latency = 100,
+              FaultInjector *injector = nullptr);
 
     /**
      * Close the current sampling window at time @p now and return the
@@ -71,12 +74,27 @@ class EbMonitor
     };
     static HardwareCost hardwareCost(std::uint32_t num_apps);
 
+    /**
+     * Windows whose raw counters failed validation (non-finite values
+     * or a fully idle application). Such windows are returned with
+     * `degraded` set and the last good window's observables, so a
+     * transient glitch never propagates NaN into a TLP decision.
+     */
+    std::uint64_t invalidWindows() const { return invalidWindows_; }
+
   private:
+    /** Validate @p sample; degrade and patch it if it is not sane. */
+    void guardSample(EbSample &sample);
+
     const Gpu &gpu_;
     Mode mode_;
     Cycle relayLatency_;
+    FaultInjector *injector_;
     /** DRAM cycles at the start of the current window. */
     Cycle dramMark_ = 0;
+    /** Last window that passed validation (degraded-mode fallback). */
+    EbSample lastGood_;
+    std::uint64_t invalidWindows_ = 0;
 };
 
 } // namespace ebm

@@ -5,6 +5,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "common/types.hpp"
@@ -23,6 +24,31 @@ struct EbSample
 
     /** The TLP combination in force during the window. */
     std::vector<std::uint32_t> tlp;
+
+    /**
+     * Set by the monitor when the window failed its sanity checks
+     * (non-finite counters, or an application that went completely
+     * idle — e.g. drained mid-search). Policies must not base TLP
+     * decisions on a degraded sample; they freeze the last-good
+     * decision instead.
+     */
+    bool degraded = false;
+
+    /** Are all observables finite and within physical ranges? */
+    bool
+    sane() const
+    {
+        if (!std::isfinite(totalBw))
+            return false;
+        for (const AppRunStats &a : apps) {
+            if (!std::isfinite(a.bw) || !std::isfinite(a.l1Mr) ||
+                !std::isfinite(a.l2Mr))
+                return false;
+            if (a.bw < 0.0 || a.l1Mr < 0.0 || a.l2Mr < 0.0)
+                return false;
+        }
+        return true;
+    }
 
     /** Per-app effective bandwidth values. */
     std::vector<double>

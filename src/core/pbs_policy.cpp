@@ -18,6 +18,33 @@ PbsPolicy::name() const
     return "PBS-?";
 }
 
+TlpCombo
+PbsPolicy::fallbackFor(const Gpu &gpu) const
+{
+    if (params_.fallbackCombo.size() == gpu.numApps())
+        return params_.fallbackCombo;
+    // No caller-supplied fallback: the Guideline-1 pin level keeps the
+    // machine utilized without letting any app overwhelm it.
+    const auto &levels = GpuConfig::tlpLevels();
+    std::uint32_t pin = levels.front();
+    for (std::uint32_t level : levels) {
+        if (level <= 4)
+            pin = level;
+    }
+    return TlpCombo(gpu.numApps(), pin);
+}
+
+void
+PbsPolicy::abandonSearch(Gpu &gpu, Cycle now)
+{
+    ++searchesAbandoned_;
+    warn("PbsPolicy: search did not converge within budget; falling "
+         "back to the safe combination");
+    apply(gpu, now, fallbackFor(gpu));
+    search_.reset();
+    windowsSinceConverged_ = 0;
+}
+
 void
 PbsPolicy::startSearch(Gpu &gpu, Cycle now)
 {
@@ -25,6 +52,7 @@ PbsPolicy::startSearch(Gpu &gpu, Cycle now)
         params_.objective, gpu.numApps(), GpuConfig::tlpLevels(),
         params_.scaling, params_.userScale);
     windowsSinceConverged_ = 0;
+    windowsThisSearch_ = 0;
     if (const auto combo = search_->nextCombo()) {
         apply(gpu, now, *combo);
         ++combosVisited_;
@@ -57,6 +85,8 @@ PbsPolicy::onRunStart(Gpu &gpu)
     timeline_.clear();
     samples_ = 0;
     combosVisited_ = 0;
+    searchesAbandoned_ = 0;
+    degradedWindows_ = 0;
     startSearch(gpu, 0);
 }
 
@@ -99,6 +129,23 @@ PbsPolicy::onWindow(Gpu &gpu, Cycle now, const EbSample &sample)
 
     ++samples_; // Every window spent searching is overhead.
 
+    // Watchdog: a search that cannot converge (degraded EB signal, an
+    // app draining away mid-search) must not hold the machine on probe
+    // combinations forever.
+    if (params_.searchBudgetWindows != 0 &&
+        ++windowsThisSearch_ > params_.searchBudgetWindows) {
+        abandonSearch(gpu, now);
+        return;
+    }
+
+    // Degraded windows carry no usable signal: freeze the current
+    // decision and wait for the monitor to recover (the budget above
+    // bounds how long).
+    if (sample.degraded) {
+        ++degradedWindows_;
+        return;
+    }
+
     // Multi-window sampling: discard settle windows after a TLP
     // change, then average the measurement windows.
     if (settleLeft_ > 0) {
@@ -112,6 +159,10 @@ PbsPolicy::onWindow(Gpu &gpu, Cycle now, const EbSample &sample)
     search_->observe(averagedSample());
 
     if (search_->done()) {
+        if (search_->failed()) {
+            abandonSearch(gpu, now);
+            return;
+        }
         apply(gpu, now, search_->best());
         search_.reset();
         windowsSinceConverged_ = 0;

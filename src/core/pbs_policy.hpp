@@ -50,6 +50,20 @@ class PbsPolicy : public TlpPolicy
          * combinations.
          */
         std::uint32_t measureWindows = 1;
+        /**
+         * Watchdog: windows a single search may consume before it is
+         * declared non-converging and abandoned (0 = unbounded). A
+         * search can stall when the EB signal degrades (NaN relays,
+         * an app draining mid-search); the watchdog guarantees the
+         * machine ends up on a sane combination regardless.
+         */
+        std::uint32_t searchBudgetWindows = 0;
+        /**
+         * Combination applied when a search is abandoned. Callers
+         * with profiling data pass ++bestTLP; when empty, the safe
+         * pin-level (TLP=4-ish, Guideline 1) combination is used.
+         */
+        TlpCombo fallbackCombo;
     };
 
     explicit PbsPolicy(Params params) : params_(std::move(params)) {}
@@ -69,6 +83,12 @@ class PbsPolicy : public TlpPolicy
     /** Has the search settled on a combination? */
     bool converged() const { return search_ == nullptr; }
 
+    /** Searches abandoned by the watchdog (fallback applied). */
+    std::uint32_t searchesAbandoned() const { return searchesAbandoned_; }
+
+    /** Degraded windows skipped while searching. */
+    std::uint32_t degradedWindows() const { return degradedWindows_; }
+
     /** The combination currently applied. */
     const TlpCombo &currentCombo() const { return applied_; }
 
@@ -81,6 +101,8 @@ class PbsPolicy : public TlpPolicy
   private:
     void startSearch(Gpu &gpu, Cycle now);
     void apply(Gpu &gpu, Cycle now, const TlpCombo &combo);
+    void abandonSearch(Gpu &gpu, Cycle now);
+    TlpCombo fallbackFor(const Gpu &gpu) const;
 
     /** Aggregate the accumulated windows into one averaged sample. */
     EbSample averagedSample() const;
@@ -92,6 +114,9 @@ class PbsPolicy : public TlpPolicy
     std::uint32_t samples_ = 0;
     std::uint32_t combosVisited_ = 0;
     std::uint32_t windowsSinceConverged_ = 0;
+    std::uint32_t windowsThisSearch_ = 0;
+    std::uint32_t searchesAbandoned_ = 0;
+    std::uint32_t degradedWindows_ = 0;
     std::vector<std::pair<Cycle, TlpCombo>> timeline_;
 
     // Multi-window sampling state for the current probe combo.

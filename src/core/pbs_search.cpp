@@ -146,6 +146,25 @@ void
 PbsSearch::observe(const EbSample &sample)
 {
     ++samplesTaken_;
+
+    // Degraded-mode guard: a window the monitor flagged, or one whose
+    // observables are not finite, must not steer the search — the
+    // planner stays on the same combination and waits for a usable
+    // window. If the signal never recovers, give up and fall back to
+    // the safe pin-level combination rather than spinning forever.
+    if (stage_ != Stage::Done &&
+        (sample.degraded || !sample.sane() ||
+         !std::isfinite(objectiveOf(sample)))) {
+        ++invalidSamples_;
+        if (++consecutiveInvalid_ >= kMaxConsecutiveInvalid) {
+            best_.assign(numApps_, pinLevel(levels_));
+            failed_ = true;
+            stage_ = Stage::Done;
+        }
+        return;
+    }
+    consecutiveInvalid_ = 0;
+
     switch (stage_) {
       case Stage::ScaleProbe: {
         const AppId app = static_cast<AppId>(planPos_);

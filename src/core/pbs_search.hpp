@@ -80,8 +80,25 @@ class PbsSearch
     /** Feed the sample observed for the current nextCombo(). */
     void observe(const EbSample &sample);
 
-    /** Has the search converged? */
+    /** Has the search converged (or given up — see failed())? */
     bool done() const { return stage_ == Stage::Done; }
+
+    /**
+     * True when the search aborted because too many consecutive
+     * samples were invalid (degraded windows, non-finite EBs). best()
+     * then returns the safe pin-level combination; callers holding a
+     * better fallback (e.g. ++bestTLP) should apply that instead.
+     */
+    bool failed() const { return failed_; }
+
+    /** Invalid samples ignored so far (degraded/non-finite). */
+    std::uint32_t invalidSamples() const { return invalidSamples_; }
+
+    /**
+     * Consecutive invalid samples after which the search gives up
+     * (done() turns true with failed() set).
+     */
+    static constexpr std::uint32_t kMaxConsecutiveInvalid = 16;
 
     /** The chosen combination (valid once done()). */
     const TlpCombo &best() const;
@@ -134,6 +151,10 @@ class PbsSearch
     /** Probe observations: per-app EB along its own axis. */
     std::vector<std::vector<std::vector<double>>> probeEbs_;
     std::vector<std::uint32_t> probeLadder_;
+
+    bool failed_ = false;
+    std::uint32_t invalidSamples_ = 0;
+    std::uint32_t consecutiveInvalid_ = 0;
 
     AppId criticalApp_ = kInvalidApp;
     std::uint32_t criticalLevel_ = 0;

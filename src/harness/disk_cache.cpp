@@ -1,30 +1,289 @@
 #include "harness/disk_cache.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 
 namespace ebm {
 
-DiskCache::DiskCache(std::string path) : path_(std::move(path))
+namespace {
+
+constexpr const char *kHeaderMagic = "ebmcache";
+constexpr const char *kFormatVersion = "v2";
+
+/** Checksum over an entry's key and value bit patterns. */
+std::uint64_t
+entryChecksum(const std::string &key, const std::vector<double> &values)
+{
+    // FNV-1a over the key bytes, then every double's exact bit
+    // pattern folded in through the mixer. Values are written with
+    // precision 17, so a reload parses bit-identical doubles and the
+    // checksum is stable across write/read cycles.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    for (const double v : values)
+        h = hashIds(h, std::bit_cast<std::uint64_t>(v));
+    return h;
+}
+
+std::string
+toHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/** Parse the space-separated value list; false on trailing garbage. */
+bool
+parseValues(const std::string &text, std::vector<double> &values)
+{
+    std::istringstream in(text);
+    double v;
+    while (in >> v)
+        values.push_back(v);
+    if (in.bad())
+        return false;
+    // Anything left that is not whitespace is garbage (e.g. a
+    // truncated float like "0.12e" or a stray token).
+    in.clear();
+    std::string rest;
+    in >> rest;
+    return rest.empty();
+}
+
+} // namespace
+
+std::string
+DiskCache::machineFingerprint()
+{
+    // Pin the properties the text format depends on: IEEE-754 doubles
+    // of a known width and byte order. Anything else and cached bit
+    // patterns cannot be trusted to round-trip.
+    std::string fp = std::numeric_limits<double>::is_iec559
+                         ? "ieee754"
+                         : "nonieee";
+    fp += "-d" + std::to_string(sizeof(double) * 8);
+    fp += std::endian::native == std::endian::little ? "-le" : "-be";
+    return fp;
+}
+
+std::string
+DiskCache::defaultPath(const std::string &file)
+{
+    const char *dir = std::getenv("EBM_CACHE_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return file;
+    std::string path(dir);
+    if (path.back() != '/')
+        path += '/';
+    return path + file;
+}
+
+DiskCache::DiskCache(std::string path, FaultInjector *injector)
+    : path_(std::move(path)), injector_(injector)
+{
+    load();
+}
+
+void
+DiskCache::load()
 {
     std::ifstream in(path_);
     if (!in)
-        return;
+        return; // Missing file: an empty cache, not an error.
+
+    std::vector<std::string> lines;
     std::string line;
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
-        if (sep == std::string::npos)
-            continue;
-        const std::string key = line.substr(0, sep);
-        std::vector<double> values;
-        std::istringstream rest(line.substr(sep + 1));
-        double v;
-        while (rest >> v)
-            values.push_back(v);
-        entries_[key] = std::move(values);
+    while (std::getline(in, line))
+        lines.push_back(line);
+    if (lines.empty())
+        return;
+
+    // Injected torn write: the final line loses its second half, as
+    // if the writing process was killed mid-write.
+    if (injector_ != nullptr &&
+        injector_->shouldFire(FaultInjector::Point::CacheReadTruncate)) {
+        std::string &last = lines.back();
+        last = last.substr(0, last.size() / 2);
     }
+
+    std::istringstream header(lines.front());
+    std::string magic, version, fingerprint;
+    header >> magic >> version >> fingerprint;
+
+    if (magic == kHeaderMagic) {
+        if (version != kFormatVersion ||
+            fingerprint != machineFingerprint()) {
+            // Wrong version or foreign machine: nothing on this file
+            // can be trusted, but it may be valuable elsewhere —
+            // quarantine it and start fresh.
+            warn("DiskCache: " + path_ + " has header '" +
+                 lines.front() + "', expected '" + kHeaderMagic + " " +
+                 kFormatVersion + " " + machineFingerprint() +
+                 "'; quarantining and recomputing");
+            entries_.clear();
+            quarantineAndRewrite();
+            return;
+        }
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            if (!parseEntryLine(lines[i], /*with_checksum=*/true))
+                ++loadReport_.entriesSkipped;
+        }
+    } else {
+        // Legacy v1 file (no header, no checksums): best-effort load,
+        // then upgrade in place.
+        loadReport_.migratedV1 = true;
+        for (const std::string &l : lines) {
+            if (!parseEntryLine(l, /*with_checksum=*/false))
+                ++loadReport_.entriesSkipped;
+        }
+    }
+    loadReport_.entriesLoaded = entries_.size();
+
+    if (loadReport_.entriesSkipped > 0) {
+        warn("DiskCache: skipped " +
+             std::to_string(loadReport_.entriesSkipped) +
+             " corrupt entr" +
+             (loadReport_.entriesSkipped == 1 ? "y" : "ies") + " in " +
+             path_ + "; quarantining the damaged file and recomputing "
+                     "the lost results");
+        quarantineAndRewrite();
+    } else if (loadReport_.migratedV1) {
+        if (persistAll())
+            inform("DiskCache: migrated " + path_ + " from v1 to " +
+                   kFormatVersion);
+    }
+}
+
+bool
+DiskCache::parseEntryLine(const std::string &line, bool with_checksum)
+{
+    if (line.empty())
+        return false;
+    const auto key_end = line.find('|');
+    if (key_end == std::string::npos || key_end == 0)
+        return false;
+    const std::string key = line.substr(0, key_end);
+
+    std::string values_text;
+    std::uint64_t stored_sum = 0;
+    if (with_checksum) {
+        const auto sum_end = line.find('|', key_end + 1);
+        if (sum_end == std::string::npos)
+            return false;
+        const std::string sum_hex =
+            line.substr(key_end + 1, sum_end - key_end - 1);
+        if (sum_hex.empty() || sum_hex.size() > 16)
+            return false;
+        char *end = nullptr;
+        stored_sum = std::strtoull(sum_hex.c_str(), &end, 16);
+        if (end == nullptr || *end != '\0')
+            return false;
+        values_text = line.substr(sum_end + 1);
+    } else {
+        values_text = line.substr(key_end + 1);
+    }
+
+    std::vector<double> values;
+    if (!parseValues(values_text, values))
+        return false;
+    if (with_checksum && entryChecksum(key, values) != stored_sum)
+        return false;
+
+    if (entries_.count(key) != 0)
+        ++loadReport_.duplicateKeys;
+    entries_[key] = std::move(values);
+    return true;
+}
+
+void
+DiskCache::quarantineAndRewrite()
+{
+    const std::string quarantine = path_ + ".quarantined";
+    if (std::rename(path_.c_str(), quarantine.c_str()) == 0) {
+        loadReport_.quarantined = true;
+        loadReport_.quarantinePath = quarantine;
+    } else {
+        warn("DiskCache: could not quarantine " + path_ + " to " +
+             quarantine);
+    }
+    // Re-persist whatever survived so the next open is clean even if
+    // no further put() happens.
+    if (!entries_.empty() || loadReport_.quarantined)
+        persistAll();
+}
+
+bool
+DiskCache::persistAll()
+{
+    if (injector_ != nullptr &&
+        injector_->shouldFire(FaultInjector::Point::CacheWriteFail)) {
+        ++persistFailures_;
+        warn("DiskCache: injected persist failure for " + path_);
+        return false;
+    }
+
+    // Atomic persist: write a sibling temp file, then rename over the
+    // real path. A crash mid-write leaves the old file intact; the
+    // temp is simply overwritten on the next attempt.
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            ++persistFailures_;
+            warn("DiskCache: cannot persist to " + path_ +
+                 " (directory unwritable?); results stay in memory");
+            return false;
+        }
+        out << kHeaderMagic << ' ' << kFormatVersion << ' '
+            << machineFingerprint() << '\n';
+
+        // Sorted keys: deterministic files that diff cleanly.
+        std::vector<const std::string *> keys;
+        keys.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            keys.push_back(&kv.first);
+        std::sort(keys.begin(), keys.end(),
+                  [](const std::string *a, const std::string *b) {
+                      return *a < *b;
+                  });
+
+        out.precision(17);
+        for (const std::string *key : keys) {
+            const std::vector<double> &values = entries_.at(*key);
+            out << *key << '|' << toHex(entryChecksum(*key, values))
+                << '|';
+            for (const double v : values)
+                out << ' ' << v;
+            out << '\n';
+        }
+        out.flush();
+        if (!out) {
+            ++persistFailures_;
+            warn("DiskCache: write to " + tmp + " failed");
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ++persistFailures_;
+        warn("DiskCache: rename " + tmp + " -> " + path_ + " failed");
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 std::optional<std::vector<double>>
@@ -36,23 +295,35 @@ DiskCache::get(const std::string &key) const
     return it->second;
 }
 
+std::optional<std::vector<double>>
+DiskCache::getValidated(const std::string &key,
+                        std::size_t expected_size) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    if (it->second.size() != expected_size) {
+        warn("DiskCache: entry " + key + " has " +
+             std::to_string(it->second.size()) + " values, expected " +
+             std::to_string(expected_size) + "; recomputing");
+        return std::nullopt;
+    }
+    return it->second;
+}
+
 void
 DiskCache::put(const std::string &key, const std::vector<double> &values)
 {
+    if (key.empty())
+        fatal(Error{Errc::InvalidArgument, "DiskCache: empty key"});
     if (key.find('|') != std::string::npos ||
-        key.find('\n') != std::string::npos)
-        fatal("DiskCache: key contains a reserved character: " + key);
-    entries_[key] = values;
-    std::ofstream out(path_, std::ios::app);
-    if (!out) {
-        warn("DiskCache: cannot persist to " + path_);
-        return;
+        key.find('\n') != std::string::npos) {
+        fatal(Error{Errc::InvalidArgument,
+                    "DiskCache: key contains a reserved character: " +
+                        key});
     }
-    out << key << '|';
-    out.precision(17);
-    for (double v : values)
-        out << ' ' << v;
-    out << '\n';
+    entries_[key] = values;
+    persistAll();
 }
 
 } // namespace ebm

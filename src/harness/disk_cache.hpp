@@ -1,37 +1,106 @@
 /**
  * @file
- * A tiny on-disk result cache so the expensive 64-combination
+ * A small on-disk result cache so the expensive 64-combination
  * exhaustive sweeps are simulated once and shared by every bench
  * binary. Values are flat double vectors; keys are caller-constructed
  * strings that embed a configuration fingerprint.
+ *
+ * Format v2 (one text file):
+ *
+ *     ebmcache v2 <machine fingerprint>
+ *     <key>|<16-hex-digit checksum>| <v0> <v1> ...
+ *
+ * The header pins the format version and the writing machine's
+ * floating-point ABI; every entry carries a checksum over its key and
+ * value bits. Loading is defensive: corrupt or truncated entries are
+ * skipped (and recomputed by callers on the resulting miss), a file
+ * that fails validation is quarantined to `<path>.quarantined` rather
+ * than trusted or deleted, and persistence is atomic
+ * (write-temp-then-rename) so a killed process never leaves a
+ * half-written cache behind. Legacy v1 files (no header) are migrated
+ * in place on load.
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injector.hpp"
+
 namespace ebm {
 
-/** Append-only key -> vector<double> store backed by a text file. */
+/** Durable key -> vector<double> store backed by a text file. */
 class DiskCache
 {
   public:
-    /** Open (and load) the cache at @p path; missing file is fine. */
-    explicit DiskCache(std::string path);
+    /** What happened while loading the backing file. */
+    struct LoadReport
+    {
+        std::size_t entriesLoaded = 0;
+        std::size_t entriesSkipped = 0;  ///< Corrupt/truncated lines.
+        std::size_t duplicateKeys = 0;   ///< Later entry won.
+        bool migratedV1 = false;         ///< Legacy file upgraded.
+        bool quarantined = false;        ///< Bad file set aside.
+        std::string quarantinePath;
+    };
+
+    /**
+     * Open (and load) the cache at @p path; missing file is fine.
+     *
+     * @param injector optional fault injection (robustness tests)
+     */
+    explicit DiskCache(std::string path,
+                       FaultInjector *injector = nullptr);
 
     /** Look up @p key. */
     std::optional<std::vector<double>> get(const std::string &key) const;
 
-    /** Insert and persist @p key -> @p values. */
+    /**
+     * Look up @p key, requiring exactly @p expected_size values: a
+     * present-but-wrong-shape entry (a stale or corrupt record) is
+     * treated as a miss so the caller recomputes instead of consuming
+     * garbage.
+     */
+    std::optional<std::vector<double>>
+    getValidated(const std::string &key, std::size_t expected_size) const;
+
+    /** Insert and persist @p key -> @p values (atomic rewrite). */
     void put(const std::string &key, const std::vector<double> &values);
 
     std::size_t size() const { return entries_.size(); }
+    const std::string &path() const { return path_; }
+
+    /** Diagnostics from the constructor's load pass. */
+    const LoadReport &loadReport() const { return loadReport_; }
+
+    /** Failed persist attempts (I/O errors; entries stay in memory). */
+    std::size_t persistFailures() const { return persistFailures_; }
+
+    /** Format-v2 header fingerprint of this machine's float ABI. */
+    static std::string machineFingerprint();
+
+    /**
+     * Default cache location: `$EBM_CACHE_DIR/<file>` when the
+     * environment variable is set, else `<file>` in the working
+     * directory (the historical default).
+     */
+    static std::string
+    defaultPath(const std::string &file = "ebm_results.cache");
 
   private:
+    void load();
+    bool parseEntryLine(const std::string &line, bool with_checksum);
+    void quarantineAndRewrite();
+    bool persistAll();
+
     std::string path_;
+    FaultInjector *injector_;
     std::unordered_map<std::string, std::vector<double>> entries_;
+    LoadReport loadReport_;
+    std::size_t persistFailures_ = 0;
 };
 
 } // namespace ebm

@@ -1,12 +1,23 @@
 #include "harness/exhaustive.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
 
 namespace ebm {
+
+std::string
+SweepStatus::summaryLine() const
+{
+    std::ostringstream out;
+    out << "sweep status: " << combos << " combos (" << fromCache
+        << " from cache, " << simulated << " simulated, " << retried
+        << " retried, " << skipped << " skipped)";
+    return out.str();
+}
 
 std::size_t
 ComboTable::indexOf(const TlpCombo &combo) const
@@ -33,24 +44,33 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
 
     ComboTable table;
     table.levels = levels;
+    SweepStatus sweep_status;
 
     // Enumerate all |levels|^n combinations in odometer order.
     std::vector<std::size_t> idx(n, 0);
     while (true) {
         TlpCombo combo(n);
+        ++sweep_status.combos;
         for (std::uint32_t a = 0; a < n; ++a)
             combo[a] = levels[idx[a]];
 
-        std::string key = "combo/" + runner_.fingerprint() + "/" +
-                          wl.name;
-        for (std::uint32_t t : combo)
-            key += "/" + std::to_string(t);
+        // Built with += (not operator+ on a temporary) to dodge GCC
+        // 12's false-positive -Wrestrict on char* + string&&.
+        std::string key = "combo/";
+        key += runner_.fingerprint();
+        key += '/';
+        key += wl.name;
+        for (std::uint32_t t : combo) {
+            key += '/';
+            key += std::to_string(t);
+        }
 
+        // A wrong-shape cache entry (stale layout, survived-but-bogus
+        // line) is a miss: recompute and overwrite rather than trust.
         RunResult result;
-        if (const auto cached = cache_.get(key)) {
+        bool combo_skipped = false;
+        if (const auto cached = cache_.getValidated(key, 4u * n + 1)) {
             const auto &v = *cached;
-            if (v.size() != 4u * n + 1)
-                fatal("Exhaustive: corrupt cache entry " + key);
             result.apps.resize(n);
             for (std::uint32_t a = 0; a < n; ++a) {
                 result.apps[a].ipc = v[4 * a + 0];
@@ -61,20 +81,49 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             }
             result.measuredCycles = static_cast<Cycle>(v.back());
             result.finalTlp = combo;
+            ++sweep_status.fromCache;
         } else {
-            result = runner_.runStatic(apps, combo);
-            std::vector<double> v;
-            for (std::uint32_t a = 0; a < n; ++a) {
-                v.push_back(result.apps[a].ipc);
-                v.push_back(result.apps[a].bw);
-                v.push_back(result.apps[a].l1Mr);
-                v.push_back(result.apps[a].l2Mr);
+            // Bounded retry: a failing run (crash, injected fault) is
+            // retried, then skipped — one bad combination must not
+            // lose the whole sweep. Each success is persisted before
+            // the next combination starts (checkpoint/resume).
+            bool done = false;
+            for (std::uint32_t attempt = 0;
+                 !done && attempt <= maxRetries_; ++attempt) {
+                if (attempt > 0)
+                    ++sweep_status.retried;
+                try {
+                    result = runner_.runStatic(apps, combo);
+                    done = true;
+                } catch (const FatalError &e) {
+                    warn("Exhaustive: run failed for " + key +
+                         " (attempt " + std::to_string(attempt + 1) +
+                         "/" + std::to_string(maxRetries_ + 1) +
+                         "): " + e.what());
+                }
             }
-            v.push_back(static_cast<double>(result.measuredCycles));
-            cache_.put(key, v);
+            if (done) {
+                std::vector<double> v;
+                for (std::uint32_t a = 0; a < n; ++a) {
+                    v.push_back(result.apps[a].ipc);
+                    v.push_back(result.apps[a].bw);
+                    v.push_back(result.apps[a].l1Mr);
+                    v.push_back(result.apps[a].l2Mr);
+                }
+                v.push_back(static_cast<double>(result.measuredCycles));
+                cache_.put(key, v);
+                ++sweep_status.simulated;
+            } else {
+                result = RunResult{};
+                result.apps.resize(n);
+                result.finalTlp = combo;
+                combo_skipped = true;
+                ++sweep_status.skipped;
+            }
         }
         table.combos.push_back(combo);
         table.results.push_back(std::move(result));
+        table.skipped.push_back(combo_skipped ? 1 : 0);
 
         // Odometer increment.
         std::uint32_t pos = 0;
@@ -86,6 +135,12 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         }
         if (pos == n)
             break;
+    }
+
+    status_.add(sweep_status);
+    if (sweep_status.retried > 0 || sweep_status.skipped > 0) {
+        warn("Exhaustive: " + wl.name + " " +
+             sweep_status.summaryLine());
     }
     return table;
 }
@@ -137,16 +192,26 @@ Exhaustive::argmax(const ComboTable &table, OptTarget target,
 {
     if (table.combos.empty())
         fatal("Exhaustive: empty table");
-    std::size_t best = 0;
+    std::size_t best = table.combos.size();
     double best_value = -1e300;
     for (std::size_t i = 0; i < table.combos.size(); ++i) {
+        // A combo whose run failed has a zeroed result: excluding it
+        // keeps partial tables usable (no-silent-drops reporting is
+        // the sweep's job).
+        if (table.isSkipped(i))
+            continue;
         const double v = value(table, table.combos[i], target,
                                alone_ipcs, eb_scale);
+        if (!std::isfinite(v))
+            continue;
         if (v > best_value) {
             best_value = v;
             best = i;
         }
     }
+    if (best == table.combos.size())
+        fatal("Exhaustive: every combination was skipped or scored "
+              "non-finite; nothing to select");
     return table.combos[best];
 }
 

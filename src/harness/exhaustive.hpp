@@ -29,6 +29,8 @@ struct ComboTable
     std::vector<std::uint32_t> levels;    ///< Ladder per app.
     std::vector<TlpCombo> combos;         ///< Row order of results.
     std::vector<RunResult> results;       ///< One per combo.
+    /** 1 = the combo's run failed after retries (result is zeros). */
+    std::vector<std::uint8_t> skipped;
 
     /** Index of @p combo in the table. */
     std::size_t indexOf(const TlpCombo &combo) const;
@@ -38,6 +40,41 @@ struct ComboTable
     {
         return results[indexOf(combo)];
     }
+
+    /** Did @p row fail after retries? */
+    bool
+    isSkipped(std::size_t row) const
+    {
+        return row < skipped.size() && skipped[row] != 0;
+    }
+};
+
+/**
+ * What happened during sweep() calls: how much was resumed from the
+ * disk cache vs simulated, and whether anything was retried or
+ * dropped. Benches print summaryLine() so partial tables are never
+ * silent.
+ */
+struct SweepStatus
+{
+    std::size_t combos = 0;     ///< Combinations requested.
+    std::size_t fromCache = 0;  ///< Resumed from the disk cache.
+    std::size_t simulated = 0;  ///< Freshly simulated (and persisted).
+    std::size_t retried = 0;    ///< Extra attempts after failures.
+    std::size_t skipped = 0;    ///< Dropped after exhausting retries.
+
+    void
+    add(const SweepStatus &other)
+    {
+        combos += other.combos;
+        fromCache += other.fromCache;
+        simulated += other.simulated;
+        retried += other.retried;
+        skipped += other.skipped;
+    }
+
+    /** One-line human-readable summary. */
+    std::string summaryLine() const;
 };
 
 /** Which metric an arg-max over a ComboTable uses. */
@@ -60,10 +97,24 @@ class Exhaustive
     /**
      * Simulate (or fetch) the full combination table for @p wl.
      *
+     * Every completed combination is persisted to the disk cache
+     * before the next one starts, so a killed or crashed sweep
+     * resumes from the last completed combination on the next run.
+     * A combination whose run fails is retried up to maxRetries()
+     * times, then recorded as skipped (zero result, flagged in the
+     * table) rather than aborting the whole sweep.
+     *
      * @param levels TLP ladder per app; empty = the standard ladder
      */
     ComboTable sweep(const Workload &wl,
                      std::vector<std::uint32_t> levels = {});
+
+    /** Cumulative status across every sweep() on this instance. */
+    const SweepStatus &status() const { return status_; }
+
+    /** Extra attempts per failing combination before skipping it. */
+    std::uint32_t maxRetries() const { return maxRetries_; }
+    void setMaxRetries(std::uint32_t retries) { maxRetries_ = retries; }
 
     /**
      * Arg-max combination of @p table under @p target.
@@ -86,6 +137,8 @@ class Exhaustive
   private:
     const Runner &runner_;
     DiskCache &cache_;
+    SweepStatus status_;
+    std::uint32_t maxRetries_ = 2;
 };
 
 } // namespace ebm

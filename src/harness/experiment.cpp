@@ -41,7 +41,8 @@ Experiment::onlineOptions()
 
 Experiment::Experiment(std::uint32_t num_apps,
                        const std::string &cache_path)
-    : cache_(cache_path),
+    : cache_(cache_path.empty() ? DiskCache::defaultPath()
+                                : cache_path),
       runner_(standardConfig(num_apps), standardOptions()),
       onlineRunner_(standardConfig(num_apps), onlineOptions()),
       profiles_(runner_, cache_),

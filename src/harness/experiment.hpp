@@ -34,11 +34,13 @@ class Experiment
   public:
     /**
      * @param num_apps  co-scheduled application count (2 by default)
-     * @param cache_path disk-cache file (shared by all benches)
+     * @param cache_path disk-cache file (shared by all benches);
+     *                   empty = DiskCache::defaultPath(), i.e.
+     *                   `$EBM_CACHE_DIR/ebm_results.cache` when the
+     *                   env var is set, else `./ebm_results.cache`
      */
     explicit Experiment(std::uint32_t num_apps = 2,
-                        const std::string &cache_path =
-                            "ebm_results.cache");
+                        const std::string &cache_path = "");
 
     Runner &runner() { return runner_; }
     ProfileDb &profiles() { return profiles_; }

@@ -26,11 +26,11 @@ ProfileDb::profile(const AppProfile &app)
     for (std::uint32_t level : prof.levels) {
         const std::string key = "alone/" + runner_.fingerprint() + "/" +
                                 app.name + "/" + std::to_string(level);
+        // A wrong-shape entry is treated as a miss (recompute), not a
+        // crash: the cache is an accelerator, never a point of failure.
         AppRunStats stats;
-        if (const auto cached = cache_.get(key)) {
+        if (const auto cached = cache_.getValidated(key, 4)) {
             const auto &v = *cached;
-            if (v.size() != 4)
-                fatal("ProfileDb: corrupt cache entry " + key);
             stats.ipc = v[0];
             stats.bw = v[1];
             stats.l1Mr = v[2];

@@ -15,6 +15,8 @@
 
 namespace ebm {
 
+class FaultInjector;
+
 /** Timing knobs of one measured run. */
 struct RunOptions
 {
@@ -23,6 +25,30 @@ struct RunOptions
     Cycle windowCycles = 1500;   ///< Sampling window (policies).
     /** Synthetic kernel-relaunch period (0 = never). */
     Cycle relaunchInterval = 0;
+    /**
+     * Optional fault-injection harness threaded through the Runner
+     * and EbMonitor (robustness tests only; null in production runs).
+     * Not owned; must outlive every run that uses these options.
+     */
+    FaultInjector *faultInjector = nullptr;
+
+    /** Collect *all* consistency problems. Empty = valid. */
+    std::vector<Error>
+    check() const
+    {
+        std::vector<Error> errors;
+        const auto bad = [&errors](const std::string &msg) {
+            errors.push_back({Errc::InvalidConfig, msg});
+        };
+        if (windowCycles == 0)
+            bad("RunOptions: windowCycles must be > 0");
+        if (measureCycles == 0)
+            bad("RunOptions: measureCycles must be > 0");
+        if (windowCycles > warmupCycles + measureCycles)
+            bad("RunOptions: windowCycles exceeds the whole run "
+                "(no sampling window would ever close)");
+        return errors;
+    }
 };
 
 /** Per-application and whole-run measurements. */

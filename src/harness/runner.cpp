@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/fault_injector.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "sim/gpu.hpp"
@@ -97,19 +98,33 @@ diffSnapshots(const Gpu &gpu, const Snapshot &a, const Snapshot &b)
 Runner::Runner(GpuConfig cfg, RunOptions opts)
     : cfg_(std::move(cfg)), opts_(opts)
 {
-    if (opts_.windowCycles == 0)
-        fatal("Runner: windowCycles must be > 0");
+    // Report *all* option problems at once (the config itself is
+    // validated by the Gpu constructor per run, once numApps is set).
+    const std::vector<Error> errors = opts_.check();
+    if (!errors.empty()) {
+        fatal(Error{Errc::InvalidConfig,
+                    "Runner: invalid RunOptions:\n  " +
+                        joinErrors(errors)});
+    }
 }
 
 RunResult
 Runner::run(const std::vector<AppProfile> &apps, TlpPolicy &policy,
             std::vector<std::uint32_t> core_share) const
 {
+    // Injected run failure (robustness tests): the run dies before
+    // producing any result, as a crashed/killed simulation would.
+    if (opts_.faultInjector != nullptr &&
+        opts_.faultInjector->shouldFire(FaultInjector::Point::RunFail)) {
+        fatal(Error{Errc::RunFailed, "Runner: injected run failure"});
+    }
+
     GpuConfig cfg = cfg_;
     cfg.numApps = static_cast<std::uint32_t>(apps.size());
     Gpu gpu(cfg, apps, std::move(core_share));
 
-    EbMonitor monitor(gpu, EbMonitor::Mode::DesignatedUnits);
+    EbMonitor monitor(gpu, EbMonitor::Mode::DesignatedUnits,
+                      /*relay_latency=*/100, opts_.faultInjector);
     policy.onRunStart(gpu);
     gpu.checkpoint();
 

@@ -108,7 +108,6 @@ DramChannel::tick()
 
     if (col_it != queue_.end()) {
         DramCommand &cmd = *col_it;
-        DramBank &bank = banks_[cmd.coord.bank];
         const std::uint32_t group = cmd.coord.bank / banksPerGroup_;
         const Cycle data_start =
             std::max(busFreeAt_, now_ + timing_.tCL);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -88,26 +90,26 @@ TEST(BoundedQueue, IterationSeesAllElements)
 
 TEST(BoundedQueueDeath, ZeroCapacityIsFatal)
 {
-    EXPECT_DEATH({ BoundedQueue<int> q(0); }, "capacity");
+    EXPECT_EBM_FATAL({ BoundedQueue<int> q(0); }, "capacity");
 }
 
 TEST(BoundedQueueDeath, PushFullPanics)
 {
     BoundedQueue<int> q(1);
     q.push(1);
-    EXPECT_DEATH(q.push(2), "full");
+    EXPECT_EBM_FATAL(q.push(2), "full");
 }
 
 TEST(BoundedQueueDeath, PopEmptyPanics)
 {
     BoundedQueue<int> q(1);
-    EXPECT_DEATH(q.pop(), "empty");
+    EXPECT_EBM_FATAL(q.pop(), "empty");
 }
 
 TEST(BoundedQueueDeath, FrontEmptyPanics)
 {
     BoundedQueue<int> q(1);
-    EXPECT_DEATH(q.front(), "empty");
+    EXPECT_EBM_FATAL(q.front(), "empty");
 }
 
 TEST(BoundedQueue, MoveOnlyPayload)

@@ -72,28 +72,28 @@ TEST(GpuConfigDeath, UnevenCoreSplitIsFatal)
     GpuConfig cfg;
     cfg.numCores = 15;
     cfg.numApps = 2;
-    EXPECT_DEATH(cfg.validate(), "divide evenly");
+    EXPECT_EBM_FATAL(cfg.validate(), "divide evenly");
 }
 
 TEST(GpuConfigDeath, ZeroAppsIsFatal)
 {
     GpuConfig cfg;
     cfg.numApps = 0;
-    EXPECT_DEATH(cfg.validate(), "numApps");
+    EXPECT_EBM_FATAL(cfg.validate(), "numApps");
 }
 
 TEST(GpuConfigDeath, MismatchedLineSizesAreFatal)
 {
     GpuConfig cfg;
     cfg.l1.lineBytes = 64;
-    EXPECT_DEATH(cfg.validate(), "line sizes");
+    EXPECT_EBM_FATAL(cfg.validate(), "line sizes");
 }
 
 TEST(GpuConfigDeath, InterleaveSmallerThanLineIsFatal)
 {
     GpuConfig cfg;
     cfg.interleaveBytes = 64;
-    EXPECT_DEATH(cfg.validate(), "interleave");
+    EXPECT_EBM_FATAL(cfg.validate(), "interleave");
 }
 
 TEST(GpuConfigDeath, BankGroupMismatchIsFatal)
@@ -101,7 +101,26 @@ TEST(GpuConfigDeath, BankGroupMismatchIsFatal)
     GpuConfig cfg;
     cfg.banksPerChannel = 10;
     cfg.bankGroups = 4;
-    EXPECT_DEATH(cfg.validate(), "bank groups");
+    EXPECT_EBM_FATAL(cfg.validate(), "bank groups");
+}
+
+TEST(GpuConfigCheck, ReportsAllProblemsAtOnce)
+{
+    GpuConfig cfg;
+    cfg.numApps = 0;
+    cfg.l1.lineBytes = 64;
+    cfg.interleaveBytes = 64;
+    const std::vector<Error> errors = cfg.check();
+    EXPECT_GE(errors.size(), 3u);
+    // validate() folds the whole list into one error message.
+    EXPECT_EBM_FATAL(cfg.validate(), "numApps");
+    EXPECT_EBM_FATAL(cfg.validate(), "line sizes");
+    EXPECT_EBM_FATAL(cfg.validate(), "interleave");
+}
+
+TEST(GpuConfigCheck, ValidConfigHasNoProblems)
+{
+    EXPECT_TRUE(GpuConfig().check().empty());
 }
 
 } // namespace

@@ -1,0 +1,88 @@
+#include "common/fault_injector.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+using Point = FaultInjector::Point;
+
+TEST(FaultInjectorTest, DisarmedNeverFires)
+{
+    FaultInjector fi(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(fi.shouldFire(Point::CacheWriteFail));
+    EXPECT_EQ(fi.queries(Point::CacheWriteFail), 1000u);
+    EXPECT_EQ(fi.fired(Point::CacheWriteFail), 0u);
+}
+
+TEST(FaultInjectorTest, ArmAfterFiresOnExactQueries)
+{
+    FaultInjector fi(1);
+    fi.armAfter(Point::RunFail, 3, 2);
+    std::vector<bool> fired;
+    for (int i = 0; i < 8; ++i)
+        fired.push_back(fi.shouldFire(Point::RunFail));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true,
+                                        true, false, false, false}));
+    EXPECT_EQ(fi.fired(Point::RunFail), 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicPerSeed)
+{
+    std::vector<bool> a, b;
+    for (std::vector<bool> *out : {&a, &b}) {
+        FaultInjector fi(99);
+        fi.armProbability(Point::EbSampleNan, 0.3);
+        for (int i = 0; i < 200; ++i)
+            out->push_back(fi.shouldFire(Point::EbSampleNan));
+    }
+    EXPECT_EQ(a, b);
+
+    // A different seed produces a different schedule.
+    FaultInjector fi(100);
+    fi.armProbability(Point::EbSampleNan, 0.3);
+    std::vector<bool> c;
+    for (int i = 0; i < 200; ++i)
+        c.push_back(fi.shouldFire(Point::EbSampleNan));
+    EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires)
+{
+    FaultInjector fi(7);
+    fi.armProbability(Point::AppDrain, 1.0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(fi.shouldFire(Point::AppDrain));
+}
+
+TEST(FaultInjectorTest, PointsAreIndependentStreams)
+{
+    FaultInjector fi(5);
+    fi.armAfter(Point::CacheWriteFail, 0);
+    EXPECT_TRUE(fi.shouldFire(Point::CacheWriteFail));
+    EXPECT_FALSE(fi.shouldFire(Point::CacheReadTruncate));
+    EXPECT_FALSE(fi.shouldFire(Point::EbSampleNan));
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiring)
+{
+    FaultInjector fi(5);
+    fi.armProbability(Point::RunFail, 1.0);
+    EXPECT_TRUE(fi.shouldFire(Point::RunFail));
+    fi.disarm(Point::RunFail);
+    EXPECT_FALSE(fi.shouldFire(Point::RunFail));
+}
+
+TEST(FaultInjectorTest, PointsHaveNames)
+{
+    for (int p = 0; p < static_cast<int>(Point::kNumPoints); ++p) {
+        EXPECT_STRNE(FaultInjector::name(static_cast<Point>(p)),
+                     "unknown");
+    }
+}
+
+} // namespace
+} // namespace ebm

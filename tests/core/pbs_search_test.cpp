@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -237,19 +239,19 @@ TEST(PbsSearch, NextComboNulloptAfterDone)
 TEST(PbsSearchDeath, BestBeforeDonePanics)
 {
     PbsSearch search(EbObjective::WS, 2, kLevels, ScalingMode::None);
-    EXPECT_DEATH(search.best(), "before");
+    EXPECT_EBM_FATAL(search.best(), "before");
 }
 
 TEST(PbsSearchDeath, SingleAppIsFatal)
 {
-    EXPECT_DEATH(
+    EXPECT_EBM_FATAL(
         { PbsSearch s(EbObjective::WS, 1, kLevels, ScalingMode::None); },
         "two applications");
 }
 
 TEST(PbsSearchDeath, UnsortedLevelsAreFatal)
 {
-    EXPECT_DEATH(
+    EXPECT_EBM_FATAL(
         {
             PbsSearch s(EbObjective::WS, 2, {4, 2, 1},
                         ScalingMode::None);
@@ -259,7 +261,7 @@ TEST(PbsSearchDeath, UnsortedLevelsAreFatal)
 
 TEST(PbsSearchDeath, UserScaleSizeMismatchIsFatal)
 {
-    EXPECT_DEATH(
+    EXPECT_EBM_FATAL(
         {
             PbsSearch s(EbObjective::FI, 2, kLevels,
                         ScalingMode::UserGroup, {1.0});

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
+
+#include "../test_util.hpp"
 
 namespace ebm {
 namespace {
@@ -22,7 +25,13 @@ class DiskCacheTest : public ::testing::Test
         std::remove(path_.c_str());
     }
 
-    void TearDown() override { std::remove(path_.c_str()); }
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".quarantined").c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
 
     std::string path_;
 };
@@ -98,7 +107,218 @@ TEST_F(DiskCacheTest, ManyKeys)
 TEST_F(DiskCacheTest, ReservedCharacterInKeyIsFatal)
 {
     DiskCache cache(path_);
-    EXPECT_DEATH(cache.put("bad|key", {1.0}), "reserved");
+    EXPECT_EBM_FATAL(cache.put("bad|key", {1.0}), "reserved");
+    EXPECT_EBM_FATAL(cache.put("", {1.0}), "empty key");
+}
+
+TEST_F(DiskCacheTest, FileStartsWithVersionHeader)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("k", {1.0});
+    }
+    std::ifstream in(path_);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first,
+              "ebmcache v2 " + DiskCache::machineFingerprint());
+}
+
+TEST_F(DiskCacheTest, TruncatedLastLineIsSkippedAndRecomputable)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("good", {1.0, 2.0});
+        cache.put("torn", {3.0, 4.0});
+    }
+    // Chop the file mid-line, as a killed writer would leave it.
+    std::string content;
+    {
+        std::ifstream in(path_);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        content = ss.str();
+    }
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << content.substr(0, content.size() - 9);
+    }
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.loadReport().entriesSkipped, 1u);
+    // Keys persist sorted, so "torn" was the (damaged) last line: it
+    // reads as a miss and the caller recomputes; "good" survives.
+    EXPECT_TRUE(reopened.get("good").has_value());
+    EXPECT_FALSE(reopened.get("torn").has_value());
+}
+
+TEST_F(DiskCacheTest, GarbageFloatsFailChecksumAndAreSkipped)
+{
+    {
+        std::ofstream out(path_);
+        out << "ebmcache v2 " << DiskCache::machineFingerprint()
+            << '\n';
+        out << "junk|0123456789abcdef| 1.0 banana 3.0\n";
+        out << "alsojunk|00ff| 0.5e+\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.loadReport().entriesSkipped, 2u);
+    EXPECT_TRUE(cache.loadReport().quarantined);
+    // The cache stays usable afterwards.
+    cache.put("fresh", {1.0});
+    EXPECT_TRUE(cache.get("fresh").has_value());
+}
+
+TEST_F(DiskCacheTest, FlippedBitFailsChecksum)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("key", {1.25});
+    }
+    std::string content;
+    {
+        std::ifstream in(path_);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        content = ss.str();
+    }
+    // Corrupt the value digits ("1.25" -> "9.25"): the checksum in
+    // the line no longer matches.
+    const auto pos = content.rfind("1.25");
+    ASSERT_NE(pos, std::string::npos);
+    content[pos] = '9';
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << content;
+    }
+    DiskCache reopened(path_);
+    EXPECT_FALSE(reopened.get("key").has_value());
+    EXPECT_EQ(reopened.loadReport().entriesSkipped, 1u);
+}
+
+TEST_F(DiskCacheTest, WrongVersionHeaderQuarantinesAndStartsFresh)
+{
+    {
+        std::ofstream out(path_);
+        out << "ebmcache v999 " << DiskCache::machineFingerprint()
+            << '\n';
+        out << "key|0000000000000000| 1 2 3\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.loadReport().quarantined);
+    // The bad file was set aside, not destroyed.
+    std::ifstream q(cache.loadReport().quarantinePath);
+    EXPECT_TRUE(q.good());
+    std::remove(cache.loadReport().quarantinePath.c_str());
+}
+
+TEST_F(DiskCacheTest, ForeignMachineFingerprintQuarantines)
+{
+    {
+        std::ofstream out(path_);
+        out << "ebmcache v2 vax-d128-be\n";
+        out << "key|0000000000000000| 1\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.loadReport().quarantined);
+    std::remove(cache.loadReport().quarantinePath.c_str());
+}
+
+TEST_F(DiskCacheTest, DuplicateKeysLastWins)
+{
+    // The append-only v1 format could accumulate duplicate keys; the
+    // later record must win and the duplicate must be counted.
+    {
+        std::ofstream out(path_);
+        out << "dup| 1\n";
+        out << "other| 7\n";
+        out << "dup| 2\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.loadReport().duplicateKeys, 1u);
+    EXPECT_EQ((*cache.get("dup"))[0], 2.0);
+}
+
+TEST_F(DiskCacheTest, UnwritableDirectoryDegradesToMemoryOnly)
+{
+    DiskCache cache("/nonexistent-dir-ebm/sub/cache.txt");
+    cache.put("k", {1.0});
+    EXPECT_GE(cache.persistFailures(), 1u);
+    // The entry is still served from memory.
+    ASSERT_TRUE(cache.get("k").has_value());
+    EXPECT_EQ((*cache.get("k"))[0], 1.0);
+}
+
+TEST_F(DiskCacheTest, LegacyV1FileIsMigrated)
+{
+    {
+        std::ofstream out(path_);
+        out << "alone/BFS/4| 0.5 0.25\n";
+        out << "not a valid line\n";
+        out << "combo/x/1/1| 1 2 3 4 5\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_TRUE(cache.loadReport().migratedV1);
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_TRUE(cache.get("alone/BFS/4").has_value());
+    EXPECT_EQ((*cache.get("alone/BFS/4"))[1], 0.25);
+
+    // The file on disk is now v2 and round-trips with checksums.
+    DiskCache upgraded(path_);
+    EXPECT_FALSE(upgraded.loadReport().migratedV1);
+    EXPECT_EQ(upgraded.size(), 2u);
+}
+
+TEST_F(DiskCacheTest, GetValidatedRejectsWrongShape)
+{
+    DiskCache cache(path_);
+    cache.put("k", {1.0, 2.0, 3.0});
+    EXPECT_TRUE(cache.getValidated("k", 3).has_value());
+    EXPECT_FALSE(cache.getValidated("k", 4).has_value());
+    EXPECT_FALSE(cache.getValidated("missing", 3).has_value());
+}
+
+TEST_F(DiskCacheTest, InjectedWriteFailureKeepsEntryInMemory)
+{
+    FaultInjector fi(3);
+    fi.armProbability(FaultInjector::Point::CacheWriteFail, 1.0);
+    DiskCache cache(path_, &fi);
+    cache.put("k", {1.0});
+    EXPECT_EQ(cache.persistFailures(), 1u);
+    EXPECT_TRUE(cache.get("k").has_value());
+    // Nothing reached disk.
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 0u);
+}
+
+TEST_F(DiskCacheTest, DefaultPathHonorsCacheDirEnv)
+{
+    unsetenv("EBM_CACHE_DIR");
+    EXPECT_EQ(DiskCache::defaultPath(), "ebm_results.cache");
+    setenv("EBM_CACHE_DIR", "/var/tmp/ebm", 1);
+    EXPECT_EQ(DiskCache::defaultPath(), "/var/tmp/ebm/ebm_results.cache");
+    setenv("EBM_CACHE_DIR", "/var/tmp/ebm/", 1);
+    EXPECT_EQ(DiskCache::defaultPath("x.cache"), "/var/tmp/ebm/x.cache");
+    unsetenv("EBM_CACHE_DIR");
+}
+
+TEST_F(DiskCacheTest, InjectedTruncationRecoversAllButLastEntry)
+{
+    {
+        DiskCache cache(path_);
+        for (int i = 0; i < 10; ++i)
+            cache.put("key" + std::to_string(i),
+                      {static_cast<double>(i)});
+    }
+    FaultInjector fi(3);
+    fi.armAfter(FaultInjector::Point::CacheReadTruncate, 0, 1);
+    DiskCache cache(path_, &fi);
+    EXPECT_EQ(cache.size(), 9u);
+    EXPECT_EQ(cache.loadReport().entriesSkipped, 1u);
 }
 
 } // namespace

@@ -44,7 +44,7 @@ TEST(ComboTableUnit, IndexOfFindsCombos)
 TEST(ComboTableUnitDeath, MissingComboPanics)
 {
     const ComboTable t = syntheticTable();
-    EXPECT_DEATH(t.indexOf({8, 8}), "not in table");
+    EXPECT_EBM_FATAL(t.indexOf({8, 8}), "not in table");
 }
 
 TEST(ExhaustiveArgmax, SdWsPicksHighestSumOfSlowdowns)
@@ -96,7 +96,7 @@ TEST(ExhaustiveArgmax, SumIpcTarget)
 TEST(ExhaustiveArgmaxDeath, SdTargetWithoutAloneIpcsIsFatal)
 {
     const ComboTable t = syntheticTable();
-    EXPECT_DEATH(Exhaustive::argmax(t, OptTarget::SdWS),
+    EXPECT_EBM_FATAL(Exhaustive::argmax(t, OptTarget::SdWS),
                  "alone IPCs");
 }
 

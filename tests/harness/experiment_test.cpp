@@ -24,7 +24,7 @@ TEST(Gmean, EmptyIsZero)
 
 TEST(GmeanDeath, NonPositiveIsFatal)
 {
-    EXPECT_DEATH(gmean({1.0, 0.0}), "non-positive");
+    EXPECT_EBM_FATAL(gmean({1.0, 0.0}), "non-positive");
 }
 
 TEST(ExperimentConfig, StandardConfigMatchesDesign)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -51,13 +53,13 @@ TEST(TextTable, SeparatorAfterHeader)
 
 TEST(TextTableDeath, EmptyHeaderIsFatal)
 {
-    EXPECT_DEATH({ TextTable t({}); }, "column");
+    EXPECT_EBM_FATAL({ TextTable t({}); }, "column");
 }
 
 TEST(TextTableDeath, RowWidthMismatchIsFatal)
 {
     TextTable t({"A", "B"});
-    EXPECT_DEATH(t.addRow({"only one"}), "width");
+    EXPECT_EBM_FATAL(t.addRow({"only one"}), "width");
 }
 
 } // namespace

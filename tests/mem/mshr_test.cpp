@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -95,12 +97,12 @@ TEST(MshrFile, ClearEmptiesEverything)
 TEST(MshrFileDeath, FillWithoutEntryPanics)
 {
     MshrFile mshrs(4, 2);
-    EXPECT_DEATH(mshrs.completeFill(0xdead00), "no MSHR entry");
+    EXPECT_EBM_FATAL(mshrs.completeFill(0xdead00), "no MSHR entry");
 }
 
 TEST(MshrFileDeath, ZeroEntriesIsFatal)
 {
-    EXPECT_DEATH({ MshrFile m(0, 1); }, "entries");
+    EXPECT_EBM_FATAL({ MshrFile m(0, 1); }, "entries");
 }
 
 } // namespace

@@ -79,8 +79,8 @@ TEST(WayPartition, UnpartitionedAppUsesAllWays)
 TEST(WayPartitionDeath, OutOfRangeIsFatal)
 {
     TagArray tags(geom(1, 4));
-    EXPECT_DEATH(tags.setWayPartition(0, 2, 3), "out of range");
-    EXPECT_DEATH(tags.setWayPartition(0, 0, 0), "out of range");
+    EXPECT_EBM_FATAL(tags.setWayPartition(0, 2, 3), "out of range");
+    EXPECT_EBM_FATAL(tags.setWayPartition(0, 0, 0), "out of range");
 }
 
 TEST(WayPartition, GpuLevelPartitionIsolatesL2Capacity)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -129,7 +131,7 @@ TEST(EbMetrics, EbHsScaled)
 
 TEST(EbMetricsDeath, ScaleSizeMismatchIsFatal)
 {
-    EXPECT_DEATH(ebFairnessIndex({0.4, 0.2}, {1.0}), "scale");
+    EXPECT_EBM_FATAL(ebFairnessIndex({0.4, 0.2}, {1.0}), "scale");
 }
 
 TEST(AloneRatioBias, AlwaysAtLeastOne)

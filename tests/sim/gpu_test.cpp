@@ -179,7 +179,7 @@ TEST_F(GpuTest, IpcMatchesInstrsOverCycles)
 TEST(GpuDeath, MismatchedCoreShareIsFatal)
 {
     GpuConfig cfg = test::tinyConfig(2);
-    EXPECT_DEATH(
+    EXPECT_EBM_FATAL(
         {
             Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()},
                     {3, 2});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -98,7 +100,7 @@ TEST(WarpScheduler, ActiveWarpsMatchesLimit)
 
 TEST(WarpSchedulerDeath, EmptyContextListIsFatal)
 {
-    EXPECT_DEATH({ WarpScheduler sched({}, 1); }, "contexts");
+    EXPECT_EBM_FATAL({ WarpScheduler sched({}, 1); }, "contexts");
 }
 
 } // namespace

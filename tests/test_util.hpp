@@ -9,8 +9,30 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "harness/run_result.hpp"
 #include "workload/app_profile.hpp"
+
+/**
+ * Expect @p statement to fail through the structured error model
+ * (fatal()/panic() throw FatalError/InternalError) with a message
+ * containing @p substr. The successor of the old EXPECT_DEATH checks:
+ * library errors no longer kill the process.
+ */
+#define EXPECT_EBM_FATAL(statement, substr)                              \
+    do {                                                                 \
+        bool ebm_test_threw_ = false;                                    \
+        try {                                                            \
+            statement;                                                   \
+        } catch (const ::ebm::FatalError &ebm_test_err_) {               \
+            ebm_test_threw_ = true;                                      \
+            EXPECT_NE(std::string(ebm_test_err_.what()).find(substr),    \
+                      std::string::npos)                                 \
+                << "error message was: " << ebm_test_err_.what();        \
+        }                                                                \
+        EXPECT_TRUE(ebm_test_threw_)                                     \
+            << "expected a FatalError containing \"" << substr << "\"";  \
+    } while (0)
 
 namespace ebm::test {
 

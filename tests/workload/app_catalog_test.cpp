@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 namespace ebm {
 namespace {
 
@@ -79,7 +81,7 @@ TEST(AppCatalog, HasAppAgreesWithFindApp)
 
 TEST(AppCatalogDeath, UnknownAppIsFatal)
 {
-    EXPECT_DEATH(findApp("NOPE"), "unknown application");
+    EXPECT_EBM_FATAL(findApp("NOPE"), "unknown application");
 }
 
 TEST(AppCatalog, EvaluatedSixteenAppsAllPresent)

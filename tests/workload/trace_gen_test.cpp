@@ -199,7 +199,7 @@ TEST(TraceGenDeath, ZeroMlpBurstIsFatal)
 {
     AppProfile p = test::streamingApp();
     p.mlpBurst = 0;
-    EXPECT_DEATH({ TraceGen gen(p, kLine); }, "mlpBurst");
+    EXPECT_EBM_FATAL({ TraceGen gen(p, kLine); }, "mlpBurst");
 }
 
 TEST(TraceGenDeath, OverfullFractionsAreFatal)
@@ -207,7 +207,7 @@ TEST(TraceGenDeath, OverfullFractionsAreFatal)
     AppProfile p = test::streamingApp();
     p.fracL1Reuse = 0.7;
     p.fracL2Reuse = 0.7;
-    EXPECT_DEATH({ TraceGen gen(p, kLine); }, "fractions");
+    EXPECT_EBM_FATAL({ TraceGen gen(p, kLine); }, "fractions");
 }
 
 } // namespace

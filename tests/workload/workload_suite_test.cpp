@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../test_util.hpp"
+
 #include "workload/app_catalog.hpp"
 
 namespace ebm {
@@ -88,7 +90,7 @@ TEST(WorkloadSuiteDeath, EmptyWorkloadIsFatal)
 {
     Workload wl;
     wl.name = "EMPTY";
-    EXPECT_DEATH(resolveApps(wl), "no apps");
+    EXPECT_EBM_FATAL(resolveApps(wl), "no apps");
 }
 
 } // namespace
