@@ -13,6 +13,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -92,7 +93,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("abl_signal_choice", run);
 }

@@ -6,6 +6,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -64,7 +65,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("fig01_motivation", run);
 }

@@ -7,6 +7,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "workload/app_catalog.hpp"
@@ -14,8 +15,9 @@
 using namespace ebm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     Experiment exp(2);
     const AppAloneProfile &prof =
         exp.profiles().profile(findApp("BFS"));

@@ -8,6 +8,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "workload/app_catalog.hpp"
@@ -15,8 +16,9 @@
 using namespace ebm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     Experiment exp(2);
 
     std::printf("Figure 3: EB at hierarchy levels (apps alone at "

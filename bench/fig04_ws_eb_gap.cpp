@@ -7,6 +7,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -68,7 +69,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("fig04_ws_eb_gap", run);
 }

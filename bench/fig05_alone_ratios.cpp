@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/job_pool.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "metrics/metrics.hpp"
@@ -18,8 +19,9 @@
 using namespace ebm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     Experiment exp(2);
 
     // The 16 apps spanned by the evaluated suite.

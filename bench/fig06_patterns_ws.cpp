@@ -10,6 +10,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/metrics.hpp"
@@ -110,7 +111,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("fig06_patterns_ws", run);
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/metrics.hpp"
@@ -122,7 +123,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("fig07_patterns_fi_hs", run);
 }

@@ -7,6 +7,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "core/eb_monitor.hpp"
 #include "core/pbs_policy.hpp"
 #include "harness/experiment.hpp"
@@ -16,8 +17,9 @@
 using namespace ebm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     Experiment exp(2);
     const GpuConfig &cfg = exp.runner().config();
 

@@ -23,7 +23,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return ebm::runGuarded("fig09_ws_comparison", run);
 }

@@ -24,7 +24,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return ebm::runGuarded("fig10_fi_comparison", run);
 }

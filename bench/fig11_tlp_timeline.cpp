@@ -6,6 +6,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "core/pbs_policy.hpp"
 #include "harness/experiment.hpp"
 #include "workload/workload_suite.hpp"
@@ -53,8 +54,9 @@ printTimeline(const char *label, const Workload &wl,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     Experiment exp(2);
     const Workload wl = makePair("BLK", "BFS");
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "core/dyncta.hpp"
 #include "core/mod_bypass.hpp"
@@ -194,8 +195,9 @@ runComparison(Experiment &exp, Report report, const std::string &title)
         gmean_row.push_back(TextTable::num(gmean(norm_values[name])));
     out.addRow(std::move(gmean_row));
     out.print();
-    std::printf("\n%s\n",
-                exp.exhaustive().status().summaryLine().c_str());
+    std::printf("\n%s [jobs=%u]\n",
+                exp.exhaustive().status().summaryLine().c_str(),
+                exp.jobs());
 }
 
 } // namespace ebm::bench

@@ -7,6 +7,7 @@
  */
 #include <cstdio>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "core/dyncta.hpp"
 #include "core/pbs_policy.hpp"
@@ -200,7 +201,8 @@ run()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    ebm::applyJobsFlag(argc, argv);
     return runGuarded("sec6d_sensitivity", run);
 }

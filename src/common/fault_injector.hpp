@@ -9,6 +9,15 @@
  * probability or to fire deterministically on the Nth query. All
  * randomness derives from ebm::Rng, so a given seed reproduces the
  * exact same fault schedule on every run.
+ *
+ * Threading: an injector's query counters are not synchronized, so a
+ * single instance must only ever be queried from one thread at a
+ * time. Parallel harness code never shares one: the sweep pre-draws
+ * the run-failure schedule serially in dispatch order and hands each
+ * worker task its own fork() — an independent injector with the same
+ * arming whose streams are seeded by the task id, making every
+ * worker-side fault a pure function of (seed, task id, point)
+ * regardless of thread interleaving.
  */
 #pragma once
 
@@ -63,6 +72,32 @@ class FaultInjector
     }
 
     void disarm(Point point) { slot(point) = Slot{}; }
+
+    /**
+     * Per-worker view of this injector: the same points armed the
+     * same way, but with fresh query counters and probability streams
+     * re-seeded by (seed, @p stream, point). Two forks with the same
+     * stream id behave identically; forks with different ids are
+     * independent. Ordinal (armAfter) schedules restart from query 0
+     * in the fork — they count the fork's own queries.
+     */
+    FaultInjector
+    fork(std::uint64_t stream) const
+    {
+        FaultInjector f(hashIds(seed_, stream));
+        for (std::size_t p = 0; p < slots_.size(); ++p) {
+            const Slot &s = slots_[p];
+            if (!s.armed)
+                continue;
+            Slot &d = f.slots_[p];
+            d.armed = true;
+            d.probability = s.probability;
+            d.firstQuery = s.firstQuery;
+            d.fireCount = s.fireCount;
+            d.rng = Rng(hashIds(seed_, stream, p));
+        }
+        return f;
+    }
 
     /** Query (and advance) an injection point. */
     bool

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
@@ -24,6 +25,18 @@
 namespace ebm {
 
 namespace detail {
+
+/**
+ * One process-wide mutex serializing log emission: every message is a
+ * single whole line, so concurrent harness workers never interleave
+ * fragments of their warnings.
+ */
+inline std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 /** Mutable panic behaviour (overridable in tests / debug sessions). */
 inline bool &
@@ -48,7 +61,10 @@ inline void setPanicAborts(bool aborts) { detail::panicAbortsFlag() = aborts; }
 [[noreturn]] inline void
 fatal(Error error)
 {
-    std::fprintf(stderr, "fatal: %s\n", error.message.c_str());
+    {
+        std::lock_guard<std::mutex> lk(detail::logMutex());
+        std::fprintf(stderr, "fatal: %s\n", error.message.c_str());
+    }
     throw FatalError(std::move(error));
 }
 
@@ -63,7 +79,10 @@ fatal(const std::string &msg)
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lk(detail::logMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     if (panicAborts())
         std::abort();
     throw InternalError(msg);
@@ -73,6 +92,7 @@ panic(const std::string &msg)
 inline void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(detail::logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -80,6 +100,7 @@ warn(const std::string &msg)
 inline void
 inform(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(detail::logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

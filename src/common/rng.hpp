@@ -65,11 +65,28 @@ class Rng
     /** Uniform draw in [0, 1). */
     constexpr double nextUnit() { return hashToUnit(next()); }
 
-    /** Uniform integer in [0, bound). bound must be > 0. */
+    /**
+     * Uniform integer in [0, bound). bound must be > 0.
+     *
+     * Unbiased via rejection: raw draws below 2^64 mod bound are
+     * discarded, so every residue is equally likely (a plain
+     * `next() % bound` over-weights the low residues for
+     * non-power-of-two bounds). Determinism for existing seeds: for
+     * power-of-two bounds the rejection threshold is zero and the
+     * sequence is identical to the historical `next() % bound`; for
+     * other bounds it matches except on the (vanishingly rare, for
+     * small bounds) draws the old code mapped with bias.
+     */
     constexpr std::uint64_t
     nextBounded(std::uint64_t bound)
     {
-        return next() % bound;
+        // 2^64 mod bound, computed in 64-bit arithmetic.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t x = next();
+            if (x >= threshold)
+                return x % bound;
+        }
     }
 
   private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -228,13 +229,42 @@ DiskCache::quarantineAndRewrite()
 bool
 DiskCache::persistAll()
 {
+    std::unique_lock<std::mutex> lk(mu_);
+    return persistOnce(lk);
+}
+
+/**
+ * One persist attempt. Expects @p lk held; the file I/O itself runs
+ * unlocked on a snapshot so readers and other writers are never
+ * blocked behind the disk. Failure accounting happens here.
+ */
+bool
+DiskCache::persistOnce(std::unique_lock<std::mutex> &lk)
+{
+    // The injector query is serialized by the single-writer persist
+    // role (and the constructor), so the ordinal fault schedules used
+    // by the robustness tests stay deterministic.
     if (injector_ != nullptr &&
         injector_->shouldFire(FaultInjector::Point::CacheWriteFail)) {
         ++persistFailures_;
+        lk.unlock();
         warn("DiskCache: injected persist failure for " + path_);
+        lk.lock();
         return false;
     }
 
+    const EntryMap snapshot = entries_;
+    lk.unlock();
+    const bool ok = writeSnapshot(snapshot);
+    lk.lock();
+    if (!ok)
+        ++persistFailures_;
+    return ok;
+}
+
+bool
+DiskCache::writeSnapshot(const EntryMap &snapshot)
+{
     // Atomic persist: write a sibling temp file, then rename over the
     // real path. A crash mid-write leaves the old file intact; the
     // temp is simply overwritten on the next attempt.
@@ -242,7 +272,6 @@ DiskCache::persistAll()
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out) {
-            ++persistFailures_;
             warn("DiskCache: cannot persist to " + path_ +
                  " (directory unwritable?); results stay in memory");
             return false;
@@ -250,10 +279,12 @@ DiskCache::persistAll()
         out << kHeaderMagic << ' ' << kFormatVersion << ' '
             << machineFingerprint() << '\n';
 
-        // Sorted keys: deterministic files that diff cleanly.
+        // Sorted keys: deterministic files that diff cleanly, and the
+        // same bytes for a given entry set no matter what order
+        // concurrent writers inserted in.
         std::vector<const std::string *> keys;
-        keys.reserve(entries_.size());
-        for (const auto &kv : entries_)
+        keys.reserve(snapshot.size());
+        for (const auto &kv : snapshot)
             keys.push_back(&kv.first);
         std::sort(keys.begin(), keys.end(),
                   [](const std::string *a, const std::string *b) {
@@ -262,7 +293,7 @@ DiskCache::persistAll()
 
         out.precision(17);
         for (const std::string *key : keys) {
-            const std::vector<double> &values = entries_.at(*key);
+            const std::vector<double> &values = snapshot.at(*key);
             out << *key << '|' << toHex(entryChecksum(*key, values))
                 << '|';
             for (const double v : values)
@@ -271,14 +302,12 @@ DiskCache::persistAll()
         }
         out.flush();
         if (!out) {
-            ++persistFailures_;
             warn("DiskCache: write to " + tmp + " failed");
             std::remove(tmp.c_str());
             return false;
         }
     }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        ++persistFailures_;
         warn("DiskCache: rename " + tmp + " -> " + path_ + " failed");
         std::remove(tmp.c_str());
         return false;
@@ -289,6 +318,7 @@ DiskCache::persistAll()
 std::optional<std::vector<double>>
 DiskCache::get(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     const auto it = entries_.find(key);
     if (it == entries_.end())
         return std::nullopt;
@@ -299,16 +329,31 @@ std::optional<std::vector<double>>
 DiskCache::getValidated(const std::string &key,
                         std::size_t expected_size) const
 {
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
-        return std::nullopt;
-    if (it->second.size() != expected_size) {
+    std::vector<double> values;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = entries_.find(key);
+        if (it == entries_.end())
+            return std::nullopt;
+        values = it->second;
+    }
+    if (values.size() != expected_size) {
         warn("DiskCache: entry " + key + " has " +
-             std::to_string(it->second.size()) + " values, expected " +
+             std::to_string(values.size()) + " values, expected " +
              std::to_string(expected_size) + "; recomputing");
         return std::nullopt;
     }
-    return it->second;
+    // A NaN/Inf written by a pre-guard version is well-shaped and
+    // passes its checksum, but no valid run ever measures one — treat
+    // it as a miss so the caller recomputes a trustworthy value.
+    for (const double v : values) {
+        if (!std::isfinite(v)) {
+            warn("DiskCache: entry " + key +
+                 " holds a non-finite value; recomputing");
+            return std::nullopt;
+        }
+    }
+    return values;
 }
 
 void
@@ -322,8 +367,30 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
                     "DiskCache: key contains a reserved character: " +
                         key});
     }
+
+    std::unique_lock<std::mutex> lk(mu_);
     entries_[key] = values;
-    persistAll();
+    ++dirtyGen_;
+
+    // Single-writer coalescing persist: if another thread already
+    // holds the writer role it is guaranteed to loop until it has
+    // covered this generation, so returning here is safe — the entry
+    // is in memory and a persist covering it is claimed. Otherwise
+    // take the role and rewrite until clean; a burst of concurrent
+    // put()s collapses into a handful of file rewrites instead of one
+    // per entry.
+    if (writerActive_)
+        return;
+    writerActive_ = true;
+    while (persistedGen_ < dirtyGen_) {
+        const std::uint64_t target = dirtyGen_;
+        persistOnce(lk); // Drops the lock around the file I/O.
+        // Advance even on failure — the failure is counted and
+        // warned; the next put() retries rather than this one
+        // spinning on a broken disk.
+        persistedGen_ = target;
+    }
+    writerActive_ = false;
 }
 
 } // namespace ebm

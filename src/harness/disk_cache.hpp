@@ -19,10 +19,22 @@
  * (write-temp-then-rename) so a killed process never leaves a
  * half-written cache behind. Legacy v1 files (no header) are migrated
  * in place on load.
+ *
+ * Thread safety: all public operations may be called concurrently
+ * (the harness's parallel sweeps put() from worker threads). The
+ * in-memory map is mutex-guarded; persistence is single-writer and
+ * coalescing — whichever thread holds the writer role keeps rewriting
+ * (tmp + atomic rename, as ever) until it has covered every entry
+ * inserted meanwhile, and a put() only returns once a persist
+ * covering its entry has completed or been claimed by that writer.
+ * Because entries are written sorted by key, the file a given entry
+ * set produces is byte-identical no matter how many threads raced to
+ * insert.
  */
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -59,10 +71,11 @@ class DiskCache
     std::optional<std::vector<double>> get(const std::string &key) const;
 
     /**
-     * Look up @p key, requiring exactly @p expected_size values: a
-     * present-but-wrong-shape entry (a stale or corrupt record) is
-     * treated as a miss so the caller recomputes instead of consuming
-     * garbage.
+     * Look up @p key, requiring exactly @p expected_size values, all
+     * of them finite: a present-but-wrong-shape entry (a stale or
+     * corrupt record) or one holding NaN/Inf (written by a pre-guard
+     * version — well-shaped and checksummed, but garbage) is treated
+     * as a miss so the caller recomputes instead of consuming it.
      */
     std::optional<std::vector<double>>
     getValidated(const std::string &key, std::size_t expected_size) const;
@@ -70,14 +83,25 @@ class DiskCache
     /** Insert and persist @p key -> @p values (atomic rewrite). */
     void put(const std::string &key, const std::vector<double> &values);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return entries_.size();
+    }
+
     const std::string &path() const { return path_; }
 
     /** Diagnostics from the constructor's load pass. */
     const LoadReport &loadReport() const { return loadReport_; }
 
     /** Failed persist attempts (I/O errors; entries stay in memory). */
-    std::size_t persistFailures() const { return persistFailures_; }
+    std::size_t
+    persistFailures() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return persistFailures_;
+    }
 
     /** Format-v2 header fingerprint of this machine's float ABI. */
     static std::string machineFingerprint();
@@ -91,16 +115,25 @@ class DiskCache
     defaultPath(const std::string &file = "ebm_results.cache");
 
   private:
+    using EntryMap = std::unordered_map<std::string, std::vector<double>>;
+
     void load();
     bool parseEntryLine(const std::string &line, bool with_checksum);
     void quarantineAndRewrite();
     bool persistAll();
+    bool persistOnce(std::unique_lock<std::mutex> &lk);
+    bool writeSnapshot(const EntryMap &snapshot);
 
     std::string path_;
     FaultInjector *injector_;
-    std::unordered_map<std::string, std::vector<double>> entries_;
+    EntryMap entries_;
     LoadReport loadReport_;
     std::size_t persistFailures_ = 0;
+
+    mutable std::mutex mu_;       ///< Guards entries_ and counters.
+    bool writerActive_ = false;   ///< A thread holds the persist role.
+    std::uint64_t dirtyGen_ = 0;  ///< Bumped by every insertion.
+    std::uint64_t persistedGen_ = 0; ///< Last generation persisted.
 };
 
 } // namespace ebm

@@ -1,8 +1,10 @@
 #include "harness/exhaustive.hpp"
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
@@ -22,17 +24,48 @@ SweepStatus::summaryLine() const
 std::size_t
 ComboTable::indexOf(const TlpCombo &combo) const
 {
-    for (std::size_t i = 0; i < combos.size(); ++i) {
-        if (combos[i] == combo)
-            return i;
+    // Rebuild the map whenever rows were appended since it was last
+    // built (tables are filled with push_back, then queried heavily
+    // by argmax/value — a row count mismatch is the build trigger).
+    if (rowIndex_.size() != combos.size()) {
+        rowIndex_.clear();
+        rowIndex_.reserve(combos.size());
+        for (std::size_t i = 0; i < combos.size(); ++i)
+            rowIndex_.emplace(combos[i], i);
     }
-    panic("ComboTable: combination not in table");
+    const auto it = rowIndex_.find(combo);
+    if (it == rowIndex_.end())
+        panic("ComboTable: combination not in table");
+    return it->second;
 }
 
 Exhaustive::Exhaustive(const Runner &runner, DiskCache &cache)
     : runner_(runner), cache_(cache)
 {
 }
+
+std::uint32_t
+Exhaustive::jobs() const
+{
+    return jobs_ != 0 ? jobs_ : JobPool::defaultJobs();
+}
+
+namespace {
+
+/** One cache-missing row awaiting simulation. */
+struct SweepTask
+{
+    std::size_t row = 0;
+    std::string key;
+    /** Leading attempts the pre-drawn fault schedule fails. */
+    std::uint32_t injectedFails = 0;
+    /** Outcome, merged into SweepStatus after the pool drains. */
+    std::uint32_t simulated = 0;
+    std::uint32_t retried = 0;
+    std::uint32_t skipped = 0;
+};
+
+} // namespace
 
 ComboTable
 Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
@@ -46,13 +79,41 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     table.levels = levels;
     SweepStatus sweep_status;
 
-    // Enumerate all |levels|^n combinations in odometer order.
+    // Enumerate all |levels|^n combinations in odometer order; the
+    // enumeration fixes each combination's row up front so workers
+    // commit results into pre-assigned slots.
     std::vector<std::size_t> idx(n, 0);
     while (true) {
         TlpCombo combo(n);
-        ++sweep_status.combos;
         for (std::uint32_t a = 0; a < n; ++a)
             combo[a] = levels[idx[a]];
+        table.combos.push_back(std::move(combo));
+
+        // Odometer increment.
+        std::uint32_t pos = 0;
+        while (pos < n) {
+            if (++idx[pos] < levels.size())
+                break;
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    const std::size_t total = table.combos.size();
+    sweep_status.combos = total;
+    table.results.resize(total);
+    table.skipped.assign(total, 0);
+
+    // Serial pass in row order: cache probes and the injected
+    // run-failure pre-draw both consume ordered global state (the
+    // cache's warnings, the injector's query counter), so they happen
+    // here — in exactly the order the all-serial sweep used — no
+    // matter how many workers run the misses afterwards.
+    FaultInjector *injector = runner_.options().faultInjector;
+    std::vector<SweepTask> tasks;
+    for (std::size_t row = 0; row < total; ++row) {
+        const TlpCombo &combo = table.combos[row];
 
         // Built with += (not operator+ on a temporary) to dodge GCC
         // 12's false-positive -Wrestrict on char* + string&&.
@@ -65,12 +126,12 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             key += std::to_string(t);
         }
 
-        // A wrong-shape cache entry (stale layout, survived-but-bogus
-        // line) is a miss: recompute and overwrite rather than trust.
-        RunResult result;
-        bool combo_skipped = false;
+        // A wrong-shape or non-finite cache entry (stale layout,
+        // survived-but-bogus line, pre-guard NaN) is a miss:
+        // recompute and overwrite rather than trust.
         if (const auto cached = cache_.getValidated(key, 4u * n + 1)) {
             const auto &v = *cached;
+            RunResult result;
             result.apps.resize(n);
             for (std::uint32_t a = 0; a < n; ++a) {
                 result.apps[a].ipc = v[4 * a + 0];
@@ -81,60 +142,111 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             }
             result.measuredCycles = static_cast<Cycle>(v.back());
             result.finalTlp = combo;
+            table.results[row] = std::move(result);
             ++sweep_status.fromCache;
-        } else {
-            // Bounded retry: a failing run (crash, injected fault) is
-            // retried, then skipped — one bad combination must not
-            // lose the whole sweep. Each success is persisted before
-            // the next combination starts (checkpoint/resume).
-            bool done = false;
-            for (std::uint32_t attempt = 0;
-                 !done && attempt <= maxRetries_; ++attempt) {
-                if (attempt > 0)
-                    ++sweep_status.retried;
-                try {
-                    result = runner_.runStatic(apps, combo);
-                    done = true;
-                } catch (const FatalError &e) {
-                    warn("Exhaustive: run failed for " + key +
-                         " (attempt " + std::to_string(attempt + 1) +
-                         "/" + std::to_string(maxRetries_ + 1) +
-                         "): " + e.what());
-                }
-            }
-            if (done) {
-                std::vector<double> v;
-                for (std::uint32_t a = 0; a < n; ++a) {
-                    v.push_back(result.apps[a].ipc);
-                    v.push_back(result.apps[a].bw);
-                    v.push_back(result.apps[a].l1Mr);
-                    v.push_back(result.apps[a].l2Mr);
-                }
-                v.push_back(static_cast<double>(result.measuredCycles));
-                cache_.put(key, v);
-                ++sweep_status.simulated;
-            } else {
-                result = RunResult{};
-                result.apps.resize(n);
-                result.finalTlp = combo;
-                combo_skipped = true;
-                ++sweep_status.skipped;
-            }
+            continue;
         }
-        table.combos.push_back(combo);
-        table.results.push_back(std::move(result));
-        table.skipped.push_back(combo_skipped ? 1 : 0);
 
-        // Odometer increment.
-        std::uint32_t pos = 0;
-        while (pos < n) {
-            if (++idx[pos] < levels.size())
-                break;
-            idx[pos] = 0;
-            ++pos;
+        SweepTask task;
+        task.row = row;
+        task.key = std::move(key);
+        if (injector != nullptr) {
+            // Pre-draw this row's injected failures with the same
+            // query sequence the serial attempt loop performed: one
+            // query per attempt, stopping at the first non-firing
+            // (successful) attempt or when the retry budget is gone.
+            while (task.injectedFails <= maxRetries_ &&
+                   injector->shouldFire(FaultInjector::Point::RunFail))
+                ++task.injectedFails;
         }
-        if (pos == n)
-            break;
+        tasks.push_back(std::move(task));
+    }
+
+    // Run one task: bounded retry — a failing run (pre-drawn injected
+    // fault or a genuine crash) is retried, then skipped; one bad
+    // combination must not lose the whole sweep. Each success is
+    // persisted as it completes (checkpoint/resume).
+    auto runTask = [&](SweepTask &task) {
+        const TlpCombo &combo = table.combos[task.row];
+
+        // Workers never touch the shared injector: the run-failure
+        // schedule was pre-drawn above, and monitor-level points are
+        // forked per row — deterministic in the row id, independent
+        // of worker interleaving.
+        const Runner *runner = &runner_;
+        std::optional<Runner> task_runner;
+        std::optional<FaultInjector> task_injector;
+        if (injector != nullptr) {
+            task_injector.emplace(injector->fork(task.row));
+            task_injector->disarm(FaultInjector::Point::RunFail);
+            RunOptions opts = runner_.options();
+            opts.faultInjector = &*task_injector;
+            task_runner.emplace(runner_.config(), opts);
+            runner = &*task_runner;
+        }
+
+        RunResult result;
+        bool done = false;
+        for (std::uint32_t attempt = 0;
+             !done && attempt <= maxRetries_; ++attempt) {
+            if (attempt > 0)
+                ++task.retried;
+            if (attempt < task.injectedFails) {
+                warn("Exhaustive: run failed for " + task.key +
+                     " (attempt " + std::to_string(attempt + 1) + "/" +
+                     std::to_string(maxRetries_ + 1) +
+                     "): [run-failed] Runner: injected run failure");
+                continue;
+            }
+            try {
+                result = runner->runStatic(apps, combo);
+                done = true;
+            } catch (const FatalError &e) {
+                warn("Exhaustive: run failed for " + task.key +
+                     " (attempt " + std::to_string(attempt + 1) + "/" +
+                     std::to_string(maxRetries_ + 1) + "): " +
+                     e.what());
+            }
+        }
+        if (done) {
+            std::vector<double> v;
+            for (std::uint32_t a = 0; a < n; ++a) {
+                v.push_back(result.apps[a].ipc);
+                v.push_back(result.apps[a].bw);
+                v.push_back(result.apps[a].l1Mr);
+                v.push_back(result.apps[a].l2Mr);
+            }
+            v.push_back(static_cast<double>(result.measuredCycles));
+            cache_.put(task.key, v);
+            task.simulated = 1;
+        } else {
+            result = RunResult{};
+            result.apps.resize(n);
+            result.finalTlp = combo;
+            table.skipped[task.row] = 1;
+            task.skipped = 1;
+        }
+        table.results[task.row] = std::move(result);
+    };
+
+    const std::uint32_t workers = static_cast<std::uint32_t>(
+        std::min<std::size_t>(jobs(), tasks.size()));
+    if (workers <= 1) {
+        for (SweepTask &task : tasks)
+            runTask(task);
+    } else {
+        JobPool pool(workers);
+        for (SweepTask &task : tasks)
+            pool.submit([&runTask, &task] { runTask(task); });
+        pool.wait();
+    }
+
+    // Merge per-task outcomes in row order: totals are independent of
+    // the workers' completion order.
+    for (const SweepTask &task : tasks) {
+        sweep_status.simulated += task.simulated;
+        sweep_status.retried += task.retried;
+        sweep_status.skipped += task.skipped;
     }
 
     status_.add(sweep_status);

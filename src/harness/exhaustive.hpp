@@ -13,15 +13,30 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "harness/disk_cache.hpp"
 #include "harness/profile_db.hpp"
 #include "harness/runner.hpp"
 #include "workload/workload_suite.hpp"
 
 namespace ebm {
+
+/** Hash over a TLP combination (combo -> row lookups). */
+struct TlpComboHash
+{
+    std::size_t
+    operator()(const TlpCombo &combo) const
+    {
+        std::uint64_t h = mix64(combo.size());
+        for (const std::uint32_t v : combo)
+            h = hashIds(h, v);
+        return static_cast<std::size_t>(h);
+    }
+};
 
 /** All static-combination results for one workload. */
 struct ComboTable
@@ -32,7 +47,12 @@ struct ComboTable
     /** 1 = the combo's run failed after retries (result is zeros). */
     std::vector<std::uint8_t> skipped;
 
-    /** Index of @p combo in the table. */
+    /**
+     * Index of @p combo in the table, O(1) via a combo -> row map
+     * built once per table (and rebuilt automatically after rows are
+     * appended). argmax/value evaluate every row through at(), so a
+     * linear scan here made each sweep evaluation O(rows^2).
+     */
     std::size_t indexOf(const TlpCombo &combo) const;
 
     /** Result for @p combo. */
@@ -47,6 +67,11 @@ struct ComboTable
     {
         return row < skipped.size() && skipped[row] != 0;
     }
+
+  private:
+    /** Lazily (re)built combo -> row map; rows are append-only. */
+    mutable std::unordered_map<TlpCombo, std::size_t, TlpComboHash>
+        rowIndex_;
 };
 
 /**
@@ -97,12 +122,20 @@ class Exhaustive
     /**
      * Simulate (or fetch) the full combination table for @p wl.
      *
+     * Combinations are independent simulations, so cache misses are
+     * dispatched onto a JobPool of jobs() workers; results are
+     * committed into pre-assigned rows (odometer order), making the
+     * table — and, because entries persist sorted, the cache file —
+     * bit-identical to a serial sweep at any job count.
+     *
      * Every completed combination is persisted to the disk cache
-     * before the next one starts, so a killed or crashed sweep
-     * resumes from the last completed combination on the next run.
-     * A combination whose run fails is retried up to maxRetries()
-     * times, then recorded as skipped (zero result, flagged in the
-     * table) rather than aborting the whole sweep.
+     * as it finishes, so a killed or crashed sweep resumes from the
+     * completed combinations on the next run. A combination whose run
+     * fails is retried up to maxRetries() times, then recorded as
+     * skipped (zero result, flagged in the table) rather than
+     * aborting the whole sweep. Injected run-failure schedules are
+     * pre-drawn serially in row order at dispatch, so retry/skip
+     * accounting is also identical at any job count.
      *
      * @param levels TLP ladder per app; empty = the standard ladder
      */
@@ -115,6 +148,10 @@ class Exhaustive
     /** Extra attempts per failing combination before skipping it. */
     std::uint32_t maxRetries() const { return maxRetries_; }
     void setMaxRetries(std::uint32_t retries) { maxRetries_ = retries; }
+
+    /** Worker threads per sweep (0 = JobPool::defaultJobs()). */
+    std::uint32_t jobs() const;
+    void setJobs(std::uint32_t jobs) { jobs_ = jobs; }
 
     /**
      * Arg-max combination of @p table under @p target.
@@ -139,6 +176,7 @@ class Exhaustive
     DiskCache &cache_;
     SweepStatus status_;
     std::uint32_t maxRetries_ = 2;
+    std::uint32_t jobs_ = 0; ///< 0 = resolve JobPool::defaultJobs().
 };
 
 } // namespace ebm

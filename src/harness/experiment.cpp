@@ -50,6 +50,19 @@ Experiment::Experiment(std::uint32_t num_apps,
 {
 }
 
+void
+Experiment::setJobs(std::uint32_t jobs)
+{
+    exhaustive_.setJobs(jobs);
+    profiles_.setJobs(jobs);
+}
+
+std::uint32_t
+Experiment::jobs() const
+{
+    return exhaustive_.jobs();
+}
+
 std::vector<double>
 Experiment::aloneIpcs(const Workload &wl)
 {

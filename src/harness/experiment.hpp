@@ -48,6 +48,15 @@ class Experiment
     DiskCache &cache() { return cache_; }
 
     /**
+     * Worker threads used by sweeps and alone-run profiling
+     * (0 = JobPool::defaultJobs(), i.e. --jobs / EBM_JOBS / hardware
+     * concurrency; 1 restores strictly serial execution). Output is
+     * bit-identical at any setting.
+     */
+    void setJobs(std::uint32_t jobs);
+    std::uint32_t jobs() const;
+
+    /**
      * Runner for *online* (searching) policies. Real kernel
      * executions are orders of magnitude longer than our static
      * measurement span, so a PBS/DynCTA run is measured over a longer

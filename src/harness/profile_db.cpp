@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/job_pool.hpp"
 #include "common/log.hpp"
 
 namespace ebm {
@@ -9,6 +10,12 @@ namespace ebm {
 ProfileDb::ProfileDb(const Runner &runner, DiskCache &cache)
     : runner_(runner), cache_(cache)
 {
+}
+
+std::uint32_t
+ProfileDb::jobs() const
+{
+    return jobs_ != 0 ? jobs_ : JobPool::defaultJobs();
 }
 
 const AppAloneProfile &
@@ -21,27 +28,51 @@ ProfileDb::profile(const AppProfile &app)
     AppAloneProfile prof;
     prof.name = app.name;
     prof.levels = GpuConfig::tlpLevels();
-    prof.perLevel.reserve(prof.levels.size());
+    prof.perLevel.resize(prof.levels.size());
 
-    for (std::uint32_t level : prof.levels) {
-        const std::string key = "alone/" + runner_.fingerprint() + "/" +
-                                app.name + "/" + std::to_string(level);
-        // A wrong-shape entry is treated as a miss (recompute), not a
-        // crash: the cache is an accelerator, never a point of failure.
-        AppRunStats stats;
-        if (const auto cached = cache_.getValidated(key, 4)) {
+    // Serial pass in level order: cache probes (and their warnings)
+    // happen in the same order at any job count; misses become tasks.
+    std::vector<std::size_t> misses;
+    std::vector<std::string> keys(prof.levels.size());
+    for (std::size_t i = 0; i < prof.levels.size(); ++i) {
+        keys[i] = "alone/" + runner_.fingerprint() + "/" + app.name +
+                  "/" + std::to_string(prof.levels[i]);
+        // A wrong-shape or non-finite entry is treated as a miss
+        // (recompute), not a crash: the cache is an accelerator,
+        // never a point of failure.
+        if (const auto cached = cache_.getValidated(keys[i], 4)) {
             const auto &v = *cached;
-            stats.ipc = v[0];
-            stats.bw = v[1];
-            stats.l1Mr = v[2];
-            stats.l2Mr = v[3];
+            prof.perLevel[i].ipc = v[0];
+            prof.perLevel[i].bw = v[1];
+            prof.perLevel[i].l1Mr = v[2];
+            prof.perLevel[i].l2Mr = v[3];
         } else {
-            const RunResult r = runner_.runAlone(app, level);
-            stats = r.apps.at(0);
-            cache_.put(key, {stats.ipc, stats.bw, stats.l1Mr,
-                             stats.l2Mr});
+            misses.push_back(i);
         }
-        prof.perLevel.push_back(stats);
+    }
+
+    // Simulate the missing levels — independent solo runs committed
+    // into pre-assigned slots, so the profile is identical at any job
+    // count. An armed fault injector keeps the pass serial: its query
+    // order is part of the documented fault schedule.
+    auto runLevel = [&](std::size_t i) {
+        const RunResult r = runner_.runAlone(app, prof.levels[i]);
+        const AppRunStats stats = r.apps.at(0);
+        cache_.put(keys[i],
+                   {stats.ipc, stats.bw, stats.l1Mr, stats.l2Mr});
+        prof.perLevel[i] = stats;
+    };
+    const std::size_t workers = std::min<std::size_t>(
+        runner_.options().faultInjector != nullptr ? 1 : jobs(),
+        misses.size());
+    if (workers <= 1) {
+        for (const std::size_t i : misses)
+            runLevel(i);
+    } else {
+        JobPool pool(static_cast<unsigned>(workers));
+        for (const std::size_t i : misses)
+            pool.submit([&runLevel, i] { runLevel(i); });
+        pool.wait();
     }
 
     std::size_t best = 0;

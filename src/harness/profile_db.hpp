@@ -45,8 +45,17 @@ class ProfileDb
      */
     ProfileDb(const Runner &runner, DiskCache &cache);
 
-    /** Profile (or fetch) one application. */
+    /**
+     * Profile (or fetch) one application. Cache-missing ladder levels
+     * are independent solo simulations, dispatched onto a JobPool of
+     * jobs() workers and committed in level order — the profile and
+     * the cache file are bit-identical to a serial pass.
+     */
     const AppAloneProfile &profile(const AppProfile &app);
+
+    /** Worker threads per profile (0 = JobPool::defaultJobs()). */
+    std::uint32_t jobs() const;
+    void setJobs(std::uint32_t jobs) { jobs_ = jobs; }
 
     /**
      * Assign G1..G4 groups to @p apps by alone-EB quartile and return
@@ -63,6 +72,7 @@ class ProfileDb
     DiskCache &cache_;
     std::map<std::string, AppAloneProfile> profiles_;
     std::vector<double> groupMeans_; ///< [1..4].
+    std::uint32_t jobs_ = 0; ///< 0 = resolve JobPool::defaultJobs().
 };
 
 } // namespace ebm

@@ -1,0 +1,150 @@
+#include "common/job_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ebm {
+namespace {
+
+/** RAII guard: pins EBM_JOBS and the process override, restores both. */
+class JobsEnvGuard
+{
+  public:
+    JobsEnvGuard()
+    {
+        const char *env = std::getenv("EBM_JOBS");
+        hadEnv_ = env != nullptr;
+        if (hadEnv_)
+            saved_ = env;
+    }
+
+    ~JobsEnvGuard()
+    {
+        JobPool::setDefaultJobs(0);
+        if (hadEnv_)
+            ::setenv("EBM_JOBS", saved_.c_str(), 1);
+        else
+            ::unsetenv("EBM_JOBS");
+    }
+
+  private:
+    bool hadEnv_ = false;
+    std::string saved_;
+};
+
+TEST(JobPool, RunsEverySubmittedJob)
+{
+    std::vector<int> slots(100, 0);
+    {
+        JobPool pool(4);
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            pool.submit([&slots, i] { slots[i] = static_cast<int>(i); });
+        pool.wait();
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        EXPECT_EQ(slots[i], static_cast<int>(i));
+}
+
+TEST(JobPool, BackPressureBoundsTheQueueButLosesNothing)
+{
+    // Queue depth 2 with many more submissions: submitters block
+    // instead of buffering unboundedly, and every job still runs.
+    std::atomic<int> ran{0};
+    {
+        JobPool pool(2, /*queue_depth=*/2);
+        for (int i = 0; i < 500; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        pool.wait();
+    }
+    EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(JobPool, WaitCanBeCalledRepeatedly)
+{
+    JobPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(JobPool, WaitRethrowsTheFirstJobException)
+{
+    JobPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([] {
+            throw FatalError({Errc::RunFailed, "worker died"});
+        });
+    }
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find("worker died"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+
+    // The pool survives: later exception-free rounds work.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(JobPool, DefaultJobsPrefersOverrideThenEnv)
+{
+    JobsEnvGuard guard;
+
+    ::setenv("EBM_JOBS", "3", 1);
+    JobPool::setDefaultJobs(0);
+    EXPECT_EQ(JobPool::defaultJobs(), 3u);
+
+    JobPool::setDefaultJobs(7);
+    EXPECT_EQ(JobPool::defaultJobs(), 7u) << "override beats EBM_JOBS";
+
+    JobPool::setDefaultJobs(0);
+    ::unsetenv("EBM_JOBS");
+    EXPECT_GE(JobPool::defaultJobs(), 1u) << "hardware fallback";
+}
+
+TEST(JobPool, ApplyJobsFlagParsesTheSupportedSpellings)
+{
+    JobsEnvGuard guard;
+    ::unsetenv("EBM_JOBS");
+
+    const char *argv1[] = {"bench", "--jobs", "5"};
+    EXPECT_EQ(applyJobsFlag(3, const_cast<char *const *>(argv1)), 5u);
+
+    const char *argv2[] = {"bench", "--jobs=2"};
+    EXPECT_EQ(applyJobsFlag(2, const_cast<char *const *>(argv2)), 2u);
+
+    const char *argv3[] = {"bench", "-j", "9"};
+    EXPECT_EQ(applyJobsFlag(3, const_cast<char *const *>(argv3)), 9u);
+}
+
+TEST(JobPool, ApplyJobsFlagIgnoresMalformedValues)
+{
+    JobsEnvGuard guard;
+    ::unsetenv("EBM_JOBS");
+    JobPool::setDefaultJobs(0);
+
+    const unsigned fallback = JobPool::defaultJobs();
+    const char *argv[] = {"bench", "--jobs", "banana"};
+    EXPECT_EQ(applyJobsFlag(3, const_cast<char *const *>(argv)),
+              fallback);
+    const char *argv2[] = {"bench", "--jobs=0"};
+    EXPECT_EQ(applyJobsFlag(2, const_cast<char *const *>(argv2)),
+              fallback);
+}
+
+} // namespace
+} // namespace ebm

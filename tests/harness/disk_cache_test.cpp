@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -280,6 +281,25 @@ TEST_F(DiskCacheTest, GetValidatedRejectsWrongShape)
     EXPECT_TRUE(cache.getValidated("k", 3).has_value());
     EXPECT_FALSE(cache.getValidated("k", 4).has_value());
     EXPECT_FALSE(cache.getValidated("missing", 3).has_value());
+}
+
+TEST_F(DiskCacheTest, GetValidatedRejectsNonFiniteValues)
+{
+    DiskCache cache(path_);
+    cache.put("nan", {1.0, std::numeric_limits<double>::quiet_NaN()});
+    cache.put("inf", {std::numeric_limits<double>::infinity(), 2.0});
+    cache.put("neginf",
+              {-std::numeric_limits<double>::infinity(), 2.0});
+    cache.put("ok", {1.0, 2.0});
+
+    // Raw get still serves the stored bits; the validated lookup —
+    // the one sweep consumers use — treats non-finite as a miss so
+    // pre-guard garbage gets recomputed instead of consumed.
+    EXPECT_TRUE(cache.get("nan").has_value());
+    EXPECT_FALSE(cache.getValidated("nan", 2).has_value());
+    EXPECT_FALSE(cache.getValidated("inf", 2).has_value());
+    EXPECT_FALSE(cache.getValidated("neginf", 2).has_value());
+    EXPECT_TRUE(cache.getValidated("ok", 2).has_value());
 }
 
 TEST_F(DiskCacheTest, InjectedWriteFailureKeepsEntryInMemory)
