@@ -149,6 +149,14 @@ class Crossbar
 
     CrossbarNetwork<MemRequest> &requestNet() { return request_; }
     CrossbarNetwork<MemResponse> &responseNet() { return response_; }
+    const CrossbarNetwork<MemRequest> &requestNet() const
+    {
+        return request_;
+    }
+    const CrossbarNetwork<MemResponse> &responseNet() const
+    {
+        return response_;
+    }
 
     void
     tick(Cycle now)

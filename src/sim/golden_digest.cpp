@@ -1,0 +1,68 @@
+#include "sim/golden_digest.hpp"
+
+#include "sim/gpu.hpp"
+
+namespace ebm {
+
+std::uint64_t
+goldenDigest(const Gpu &gpu)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    const auto fold = [&h](std::uint64_t v) { h = fnv1aWord(h, v); };
+
+    // Machine shape and elapsed time.
+    fold(gpu.now());
+    fold(gpu.numApps());
+    fold(gpu.numCores());
+    fold(gpu.numPartitions());
+
+    // Per-application aggregates.
+    for (AppId app = 0; app < gpu.numApps(); ++app) {
+        fold(gpu.appInstrs(app));
+        fold(gpu.appDataCycles(app));
+        fold(gpu.appTlp(app));
+    }
+
+    // Per-core counters, in core-id order.
+    for (CoreId id = 0; id < gpu.numCores(); ++id) {
+        const SimtCore &core = gpu.core(id);
+        fold(core.instrsRetired());
+        fold(core.idleCycles());
+        fold(core.memWaitCycles());
+        fold(core.stallCycles());
+        fold(core.lostLocality());
+        fold(core.tlpLimit());
+        fold(core.l1Bypass() ? 1 : 0);
+        fold(core.l2Bypass() ? 1 : 0);
+        for (AppId app = 0; app < gpu.numApps(); ++app) {
+            fold(core.l1().stats().accesses(app));
+            fold(core.l1().stats().misses(app));
+            fold(core.l1().tags().linesOwnedBy(app));
+        }
+    }
+
+    // Per-partition counters, in partition order.
+    for (PartitionId p = 0; p < gpu.numPartitions(); ++p) {
+        const MemoryPartition &part = gpu.partition(p);
+        fold(part.dramCyclesElapsed());
+        fold(part.dram().rowHits());
+        fold(part.dram().rowMisses());
+        fold(part.dram().requestsServiced());
+        fold(part.dram().queueDepth());
+        for (AppId app = 0; app < gpu.numApps(); ++app) {
+            fold(part.l2().stats().accesses(app));
+            fold(part.l2().stats().misses(app));
+            fold(part.l2().tags().linesOwnedBy(app));
+            fold(part.dataCycles(app));
+        }
+    }
+
+    // In-flight interconnect state (catches any end-of-run drift in
+    // what is still buffered versus already delivered).
+    fold(gpu.crossbar().requestNet().occupancy());
+    fold(gpu.crossbar().responseNet().occupancy());
+
+    return h;
+}
+
+} // namespace ebm

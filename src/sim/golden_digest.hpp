@@ -1,0 +1,49 @@
+/**
+ * @file
+ * End-of-run state digest for bit-identical regression locking.
+ *
+ * goldenDigest() folds every observable end-of-run counter of a Gpu —
+ * cycle counts, per-app instruction/bandwidth totals, per-core issue
+ * and idle accounting, per-cache access/miss/ownership counters, DRAM
+ * row and service statistics, and in-flight queue occupancies — into
+ * one FNV-1a hash. Two runs are behaviourally identical exactly when
+ * their digests match, so performance work on the simulator hot path
+ * (event skipping, allocation-free structures) can be proven to
+ * preserve results by comparing a single 64-bit value against a
+ * constant recorded before the optimization landed
+ * (tests/sim/golden_digest_test.cpp).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ebm {
+
+class Gpu;
+
+/** FNV-1a offset basis (the digest's initial accumulator value). */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/** Fold one 64-bit word into an FNV-1a accumulator, byte by byte. */
+inline constexpr std::uint64_t
+fnv1aWord(std::uint64_t h, std::uint64_t word)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (i * 8)) & 0xffull;
+        h *= kPrime;
+    }
+    return h;
+}
+
+/**
+ * Digest every end-of-run counter of @p gpu.
+ *
+ * The walk order is fixed (machine structure, then per-core, then
+ * per-partition state) and every value is widened to 64 bits before
+ * hashing, so the digest is a stable function of simulation behaviour
+ * only — never of container layout or iteration order.
+ */
+std::uint64_t goldenDigest(const Gpu &gpu);
+
+} // namespace ebm

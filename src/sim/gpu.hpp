@@ -79,6 +79,7 @@ class Gpu
 
     SimtCore &core(CoreId id) { return *cores_[id]; }
     const SimtCore &core(CoreId id) const { return *cores_[id]; }
+    const Crossbar &crossbar() const { return xbar_; }
     MemoryPartition &partition(PartitionId id) { return *partitions_[id]; }
     const MemoryPartition &partition(PartitionId id) const
     {
