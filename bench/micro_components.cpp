@@ -76,7 +76,8 @@ BM_DramChannelStreaming(benchmark::State &state)
             dram.enqueue(req, coord);
             ++i;
         }
-        benchmark::DoNotOptimize(dram.tick());
+        DramCompletion done;
+        benchmark::DoNotOptimize(dram.tick(done));
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -140,6 +141,60 @@ BM_GpuCycleTwoApps(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GpuCycleTwoApps);
+
+/**
+ * Whole-GPU simulation loop via Gpu::run() — the path every sweep and
+ * harness drive takes. Items/sec = simulated cycles per wall second.
+ * The memory-bound BFS+FFT pair spends most cycles waiting on DRAM,
+ * which is exactly where the quiescence fast-forward pays off; the
+ * Serial variant pins the pre-optimization baseline for comparison.
+ */
+void
+gpuRunMemBoundPair(benchmark::State &state, bool fast_forward)
+{
+    GpuConfig cfg = benchConfig(2);
+    Gpu gpu(cfg, {findApp("BFS"), findApp("FFT")});
+    gpu.setFastForward(fast_forward);
+    constexpr Cycle kChunk = 10'000;
+    for (auto _ : state)
+        gpu.run(kChunk);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChunk);
+    state.counters["skipped_frac"] =
+        static_cast<double>(gpu.fastForwardedCycles()) /
+        static_cast<double>(gpu.now());
+}
+
+// Fixed iteration counts so both variants simulate the *same* cycle
+// range (cost varies along the workload; floating iteration counts
+// would compare different phases).
+void
+BM_GpuRunMemBoundPairSerial(benchmark::State &state)
+{
+    gpuRunMemBoundPair(state, false);
+}
+BENCHMARK(BM_GpuRunMemBoundPairSerial)->Iterations(30);
+
+void
+BM_GpuRunMemBoundPairFast(benchmark::State &state)
+{
+    gpuRunMemBoundPair(state, true);
+}
+BENCHMARK(BM_GpuRunMemBoundPairFast)->Iterations(30);
+
+/** Compute-heavy co-run: the fast-forward gate must not cost here. */
+void
+BM_GpuRunBusyPairFast(benchmark::State &state)
+{
+    GpuConfig cfg = benchConfig(2);
+    Gpu gpu(cfg, {findApp("BLK"), findApp("RAY")});
+    constexpr Cycle kChunk = 10'000;
+    for (auto _ : state)
+        gpu.run(kChunk);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChunk);
+}
+BENCHMARK(BM_GpuRunBusyPairFast);
 
 } // namespace
 

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer: the allocation-free FIFO for simulator
+ * hot paths (crossbar virtual output queues, response scratch). All
+ * storage is reserved at construction; push/pop are index arithmetic
+ * on a flat array, so steady-state operation performs no allocation —
+ * unlike BoundedQueue, whose std::deque allocates chunks as it grows.
+ * Semantics mirror BoundedQueue (explicit back-pressure: callers
+ * check full()/empty() first), minus mid-queue iteration/extraction.
+ */
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace ebm {
+
+/** Fixed-capacity FIFO backed by one flat allocation. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity)
+        : buf_(capacity == 0 ? 1 : capacity), capacity_(capacity)
+    {
+        if (capacity == 0)
+            fatal("RingBuffer: capacity must be > 0");
+    }
+
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= capacity_; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Enqueue; the caller must have checked full(). */
+    void
+    push(T item)
+    {
+        if (full())
+            panic("RingBuffer: push into a full queue");
+        buf_[wrap(head_ + count_)] = std::move(item);
+        ++count_;
+    }
+
+    /** Front element; the caller must have checked empty(). */
+    T &
+    front()
+    {
+        if (empty())
+            panic("RingBuffer: front of an empty queue");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        if (empty())
+            panic("RingBuffer: front of an empty queue");
+        return buf_[head_];
+    }
+
+    /** Dequeue the front element. */
+    T
+    pop()
+    {
+        if (empty())
+            panic("RingBuffer: pop from an empty queue");
+        T item = std::move(buf_[head_]);
+        head_ = wrap(head_ + 1);
+        --count_;
+        return item;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
+
+    std::vector<T> buf_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace ebm

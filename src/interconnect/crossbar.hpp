@@ -8,15 +8,24 @@
  * allocator: every cycle, each output grants one of its requesting
  * inputs in round-robin order, and each input accepts one grant in
  * round-robin order. Accepted flits incur a fixed traversal latency.
+ *
+ * Hot-path layout: VOQs are fixed-capacity ring buffers (no steady
+ * state allocation) and each output keeps an occupancy bitmask of its
+ * non-empty input VOQs, so the allocator's round-robin scan is a
+ * find-first-set over the mask instead of a walk over every input.
+ * Each network also reports the next cycle at which it can possibly
+ * act (nextEventCycle), which the GPU's quiescence fast-forward uses
+ * to skip fully drained stretches.
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <queue>
 #include <vector>
 
-#include "common/bounded_queue.hpp"
 #include "common/config.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "mem/mem_request.hpp"
 
@@ -33,31 +42,35 @@ class CrossbarNetwork
     CrossbarNetwork(std::uint32_t num_inputs, std::uint32_t num_outputs,
                     std::uint32_t queue_depth, std::uint32_t latency)
         : latency_(latency),
+          numInputs_(num_inputs),
+          maskWords_((num_inputs + 63) / 64),
           grantPointer_(num_outputs, 0),
+          inputMask_(static_cast<std::size_t>(num_outputs) * maskWords_,
+                     0),
           outputReady_(num_outputs)
     {
-        voqs_.reserve(num_inputs);
-        for (std::uint32_t i = 0; i < num_inputs; ++i) {
-            std::vector<BoundedQueue<T>> row;
-            row.reserve(num_outputs);
+        voqs_.reserve(static_cast<std::size_t>(num_inputs) *
+                      num_outputs);
+        for (std::uint32_t i = 0; i < num_inputs; ++i)
             for (std::uint32_t o = 0; o < num_outputs; ++o)
-                row.emplace_back(queue_depth);
-            voqs_.push_back(std::move(row));
-        }
+                voqs_.emplace_back(queue_depth);
     }
 
     /** Can input @p in enqueue a flit for output @p out? */
     bool
     canAccept(std::uint32_t in, std::uint32_t out) const
     {
-        return !voqs_[in][out].full();
+        return !voq(in, out).full();
     }
 
     /** Enqueue a flit (caller must have checked canAccept). */
     void
     inject(std::uint32_t in, std::uint32_t out, T flit)
     {
-        voqs_[in][out].push(std::move(flit));
+        RingBuffer<T> &q = voq(in, out);
+        q.push(std::move(flit));
+        ++voqFlits_;
+        maskWord(out, in / 64) |= 1ull << (in % 64);
     }
 
     /**
@@ -68,19 +81,21 @@ class CrossbarNetwork
     void
     tick(Cycle now)
     {
-        const auto n_in = static_cast<std::uint32_t>(voqs_.size());
+        if (voqFlits_ == 0)
+            return;
         const auto n_out =
             static_cast<std::uint32_t>(grantPointer_.size());
         for (std::uint32_t out = 0; out < n_out; ++out) {
-            for (std::uint32_t k = 0; k < n_in; ++k) {
-                const std::uint32_t in = (grantPointer_[out] + k) % n_in;
-                if (!voqs_[in][out].empty()) {
-                    outputReady_[out].push(
-                        InFlight{now + latency_, voqs_[in][out].pop()});
-                    grantPointer_[out] = (in + 1) % n_in;
-                    break;
-                }
-            }
+            const std::uint32_t in =
+                firstRequesterFrom(out, grantPointer_[out]);
+            if (in == kNoInput)
+                continue;
+            RingBuffer<T> &q = voq(in, out);
+            outputReady_[out].push(InFlight{now + latency_, q.pop()});
+            --voqFlits_;
+            if (q.empty())
+                maskWord(out, in / 64) &= ~(1ull << (in % 64));
+            grantPointer_[out] = (in + 1) % numInputs_;
         }
     }
 
@@ -96,14 +111,32 @@ class CrossbarNetwork
         return true;
     }
 
+    /**
+     * Earliest cycle after @p now at which this network can change
+     * state: immediately if any VOQ holds a flit (the allocator will
+     * move it), else the first in-flight arrival, else never.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (voqFlits_ > 0)
+            return now + 1;
+        Cycle next = kNeverCycle;
+        for (const auto &q : outputReady_) {
+            // FIFO + fixed latency: the front is the earliest arrival.
+            if (!q.empty() && q.front().readyAt < next)
+                next = q.front().readyAt;
+        }
+        if (next == kNeverCycle)
+            return kNeverCycle;
+        return next > now ? next : now + 1;
+    }
+
     /** Total flits buffered anywhere in this network. */
     std::size_t
     occupancy() const
     {
-        std::size_t n = 0;
-        for (const auto &row : voqs_)
-            for (const auto &q : row)
-                n += q.size();
+        std::size_t n = voqFlits_;
         for (const auto &q : outputReady_)
             n += q.size();
         return n;
@@ -112,14 +145,15 @@ class CrossbarNetwork
     void
     clear()
     {
-        for (auto &row : voqs_)
-            for (auto &q : row)
-                q.clear();
+        for (auto &q : voqs_)
+            q.clear();
         for (auto &q : outputReady_) {
             while (!q.empty())
                 q.pop();
         }
         std::fill(grantPointer_.begin(), grantPointer_.end(), 0u);
+        std::fill(inputMask_.begin(), inputMask_.end(), 0ull);
+        voqFlits_ = 0;
     }
 
   private:
@@ -129,10 +163,74 @@ class CrossbarNetwork
         T payload;
     };
 
+    static constexpr std::uint32_t kNoInput = 0xffffffffu;
+
+    RingBuffer<T> &voq(std::uint32_t in, std::uint32_t out)
+    {
+        return voqs_[static_cast<std::size_t>(in) *
+                         grantPointer_.size() +
+                     out];
+    }
+    const RingBuffer<T> &voq(std::uint32_t in, std::uint32_t out) const
+    {
+        return voqs_[static_cast<std::size_t>(in) *
+                         grantPointer_.size() +
+                     out];
+    }
+
+    std::uint64_t &maskWord(std::uint32_t out, std::uint32_t word)
+    {
+        return inputMask_[static_cast<std::size_t>(out) * maskWords_ +
+                          word];
+    }
+    const std::uint64_t &maskWord(std::uint32_t out,
+                                  std::uint32_t word) const
+    {
+        return inputMask_[static_cast<std::size_t>(out) * maskWords_ +
+                          word];
+    }
+
+    /**
+     * First input with a queued flit for @p out, scanning round-robin
+     * from @p start (wrapping), via the occupancy bitmask.
+     */
+    std::uint32_t
+    firstRequesterFrom(std::uint32_t out, std::uint32_t start) const
+    {
+        // Pass 1: bits at or after start. Pass 2: wrap to the front.
+        const std::uint32_t start_word = start / 64;
+        for (std::uint32_t w = start_word; w < maskWords_; ++w) {
+            std::uint64_t bits = maskWord(out, w);
+            if (w == start_word)
+                bits &= ~0ull << (start % 64);
+            if (bits != 0)
+                return w * 64 +
+                       static_cast<std::uint32_t>(
+                           std::countr_zero(bits));
+        }
+        for (std::uint32_t w = 0; w <= start_word && w < maskWords_;
+             ++w) {
+            std::uint64_t bits = maskWord(out, w);
+            if (w == start_word)
+                bits &= ~(~0ull << (start % 64));
+            if (bits != 0)
+                return w * 64 +
+                       static_cast<std::uint32_t>(
+                           std::countr_zero(bits));
+        }
+        return kNoInput;
+    }
+
     std::uint32_t latency_;
-    std::vector<std::vector<BoundedQueue<T>>> voqs_;
+    std::uint32_t numInputs_;
+    std::uint32_t maskWords_;
+    /** Flattened [input][output] ring buffers. */
+    std::vector<RingBuffer<T>> voqs_;
     std::vector<std::uint32_t> grantPointer_;
+    /** Per-output bitmask of inputs with a non-empty VOQ. */
+    std::vector<std::uint64_t> inputMask_;
     std::vector<std::queue<InFlight>> outputReady_;
+    std::size_t voqFlits_ = 0;
 };
 
 /** The full core <-> memory-partition interconnect. */
@@ -163,6 +261,15 @@ class Crossbar
     {
         request_.tick(now);
         response_.tick(now);
+    }
+
+    /** Earliest cycle after @p now either network can change state. */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        const Cycle req = request_.nextEventCycle(now);
+        const Cycle resp = response_.nextEventCycle(now);
+        return req < resp ? req : resp;
     }
 
     void

@@ -9,15 +9,12 @@ AddressMap::AddressMap(const GpuConfig &cfg)
       interleaveBytes_(cfg.interleaveBytes),
       numPartitions_(cfg.numPartitions),
       banks_(cfg.banksPerChannel),
-      rowBytes_(cfg.rowBytes)
+      rowBytes_(cfg.rowBytes),
+      fastPath_(std::has_single_bit(interleaveBytes_) &&
+                std::has_single_bit(numPartitions_)),
+      interleaveShift_(
+          static_cast<std::uint32_t>(std::countr_zero(interleaveBytes_)))
 {
-}
-
-PartitionId
-AddressMap::partitionOf(Addr addr) const
-{
-    const Addr chunk = addr / interleaveBytes_;
-    return static_cast<PartitionId>(chunk % numPartitions_);
 }
 
 DramCoord

@@ -9,6 +9,7 @@
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "common/config.hpp"
@@ -34,8 +35,22 @@ class AddressMap
     /** Align an arbitrary byte address down to its cache line. */
     Addr lineAlign(Addr addr) const { return addr & ~Addr{lineBytes_ - 1}; }
 
-    /** Memory partition (channel / L2 slice) owning @p addr. */
-    PartitionId partitionOf(Addr addr) const;
+    /**
+     * Memory partition (channel / L2 slice) owning @p addr. Called
+     * for every load and store a core issues, so the division is a
+     * shift+mask whenever interleave size and partition count are
+     * powers of two (they are in every stock configuration).
+     */
+    PartitionId
+    partitionOf(Addr addr) const
+    {
+        if (fastPath_) {
+            return static_cast<PartitionId>((addr >> interleaveShift_) &
+                                            (numPartitions_ - 1));
+        }
+        return static_cast<PartitionId>((addr / interleaveBytes_) %
+                                        numPartitions_);
+    }
 
     /** Full DRAM coordinates of a line address. */
     DramCoord decode(Addr line_addr) const;
@@ -49,6 +64,9 @@ class AddressMap
     std::uint32_t numPartitions_;
     std::uint32_t banks_;
     std::uint32_t rowBytes_;
+    /** Both interleaveBytes_ and numPartitions_ are powers of two. */
+    bool fastPath_;
+    std::uint32_t interleaveShift_;
 };
 
 } // namespace ebm

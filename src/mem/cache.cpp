@@ -33,8 +33,7 @@ Cache::access(const MemRequest &req, bool bypass)
         return CacheOutcome::MissMerged;
     }
 
-    if (tags_.probe(req.lineAddr)) {
-        tags_.access(req.lineAddr, req.app, false); // Refresh LRU.
+    if (tags_.touch(req.lineAddr)) { // Probe + LRU refresh, one walk.
         stats_.recordAccess(req.app, false);
         return CacheOutcome::Hit;
     }
@@ -50,14 +49,24 @@ Cache::FillResult
 Cache::fill(Addr line_addr, AppId app, bool bypass)
 {
     FillResult result;
+    fill(line_addr, app, bypass, result);
+    return result;
+}
+
+void
+Cache::fill(Addr line_addr, AppId app, bool bypass, FillResult &out)
+{
+    out.waiters.clear();
+    out.evictedValid = false;
+    out.evictedLine = 0;
+    out.evictedApp = kInvalidApp;
     if (!bypass) {
         const TagLookup lookup = tags_.access(line_addr, app, true);
-        result.evictedValid = lookup.evictedValid;
-        result.evictedLine = lookup.evictedLine;
-        result.evictedApp = lookup.evictedApp;
+        out.evictedValid = lookup.evictedValid;
+        out.evictedLine = lookup.evictedLine;
+        out.evictedApp = lookup.evictedApp;
     }
-    result.waiters = mshrs_.completeFill(line_addr);
-    return result;
+    mshrs_.completeFill(line_addr, out.waiters);
 }
 
 void

@@ -68,6 +68,13 @@ class Cache
      */
     FillResult fill(Addr line_addr, AppId app, bool bypass);
 
+    /**
+     * Allocation-free variant for hot paths: @p out is cleared and
+     * refilled in place, so a caller-owned scratch FillResult reuses
+     * its waiters capacity across fills.
+     */
+    void fill(Addr line_addr, AppId app, bool bypass, FillResult &out);
+
     /** True if the line has an in-flight MSHR entry. */
     bool missInFlight(Addr line_addr) const { return mshrs_.inFlight(line_addr); }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace ebm {
 
 DramChannel::DramChannel(const GpuConfig &cfg, std::uint32_t num_apps)
@@ -10,9 +12,13 @@ DramChannel::DramChannel(const GpuConfig &cfg, std::uint32_t num_apps)
       capCycles_(cfg.frfcfsCapCycles),
       banks_(cfg.banksPerChannel),
       lastColumnInGroup_(cfg.bankGroups, 0),
-      queue_(cfg.frfcfsQueueDepth),
+      queueCap_(cfg.frfcfsQueueDepth),
       dataCycles_(num_apps)
 {
+    if (banks_.size() > 64)
+        fatal("DramChannel: at most 64 banks per channel "
+              "(row-hit mask width)");
+    queue_.reserve(queueCap_);
 }
 
 void
@@ -22,20 +28,32 @@ DramChannel::enqueue(const MemRequest &req, const DramCoord &coord)
         panic("DramChannel: request with out-of-range app id");
     if (coord.bank >= banks_.size())
         panic("DramChannel: request with out-of-range bank");
+    if (queueFull())
+        panic("DramChannel: enqueue into a full queue");
     DramCommand cmd;
     cmd.req = req;
     cmd.coord = coord;
+    cmd.group = coord.bank / banksPerGroup_;
     cmd.enqueuedAt = now_;
-    queue_.push(cmd);
+    queue_.push_back(cmd);
+    scanSkipUntil_ = 0; // New work invalidates the fruitless-scan skip.
 }
 
-std::vector<DramCompletion>
-DramChannel::tick()
+bool
+DramChannel::tick(DramCompletion &out)
 {
     ++now_;
-    std::vector<DramCompletion> done;
     if (queue_.empty())
-        return done;
+        return false;
+
+    // Scan-skipping: a scan that issues nothing mutates no state, so
+    // its outcome can only change once now_ crosses one of the fixed
+    // timing thresholds that blocked it (every condition below is a
+    // monotone `now_ >= threshold` test). A fruitless scan records a
+    // conservative minimum over those thresholds; until then — and as
+    // long as no enqueue changes the queue — scans are skipped.
+    if (now_ < scanSkipUntil_)
+        return false;
 
     // FR-FCFS with a single command bus: each DRAM cycle issue the
     // highest-priority *serviceable* command — (1) the oldest
@@ -47,68 +65,98 @@ DramChannel::tick()
     // absolute priority — its bank may be precharged even under
     // younger row hits. Without this, one application's row-hit
     // stream can starve a co-runner's row misses indefinitely.
+    // The queue is age-ordered (FIFO arrivals, mid-queue extraction
+    // preserves order), so the front is the oldest request: it is
+    // past the cap iff any request is.
     const DramCommand *aged = nullptr;
-    for (const DramCommand &cmd : queue_) {
-        if (now_ - cmd.enqueuedAt > capCycles_) {
-            aged = &cmd;
-            break; // Queue is age-ordered; first hit is oldest.
-        }
-    }
+    if (now_ - queue_.front().enqueuedAt > capCycles_)
+        aged = &queue_.front();
 
-    // Banks with a pending row-hit must not be precharged/re-activated
-    // out from under their older requests (unless the aged request
-    // overrides).
-    std::vector<bool> bank_has_hit(banks_.size(), false);
-    for (const DramCommand &cmd : queue_) {
-        const DramBank &bank = banks_[cmd.coord.bank];
-        if (bank.rowOpen && bank.openRow == cmd.coord.row)
-            bank_has_hit[cmd.coord.bank] = true;
-    }
-    if (aged != nullptr)
-        bank_has_hit[aged->coord.bank] = false;
+    // Earliest cycle at which some currently blocked command could
+    // become issuable, assuming no other state change (see above).
+    Cycle wake = kNeverCycle;
 
+    // Pass 1 — the oldest serviceable row-hit column access. Column
+    // candidacy is independent of the row-hit shield below, so in the
+    // common streaming case this breaks early and nothing else runs.
+    // Banks with a pending row-hit are collected along the way: they
+    // must not be precharged/re-activated out from under their older
+    // requests (unless the aged request overrides).
+    // The data-bus condition is command-independent: hoisted.
+    const bool bus_ok = busFreeAt_ <= now_ + timing_.tCL;
+    const Cycle bus_wake =
+        busFreeAt_ > timing_.tCL ? busFreeAt_ - timing_.tCL : 0;
+    std::uint64_t bank_has_hit = 0;
     auto col_it = queue_.end();
-    auto act_it = queue_.end();
-    auto pre_it = queue_.end();
-
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         const DramCommand &cmd = *it;
-        DramBank &bank = banks_[cmd.coord.bank];
-        const std::uint32_t group = cmd.coord.bank / banksPerGroup_;
-        const bool row_hit =
-            bank.rowOpen && bank.openRow == cmd.coord.row;
-
-        if (row_hit) {
-            if (col_it == queue_.end() &&
-                now_ >= bank.readyForColumn &&
-                now_ >= lastColumnInGroup_[group] + timing_.tCCDl &&
-                busFreeAt_ <= now_ + timing_.tCL) {
-                col_it = it;
-                break; // Highest priority; no need to scan further.
-            }
+        const std::uint64_t bit = 1ull << cmd.coord.bank;
+        if ((bank_has_hit & bit) != 0)
+            continue; // An older row-hit on this bank is blocked by
+                      // the very same thresholds; nothing new here.
+        const DramBank &bank = banks_[cmd.coord.bank];
+        if (!bank.rowOpen || bank.openRow != cmd.coord.row)
             continue;
+        const std::uint32_t group = cmd.group;
+        if (bus_ok && now_ >= bank.readyForColumn &&
+            now_ >= lastColumnInGroup_[group] + timing_.tCCDl) {
+            col_it = it;
+            break; // Highest priority; no need to scan further.
         }
-        if (bank_has_hit[cmd.coord.bank])
-            continue; // Let the older row-hit drain first.
+        bank_has_hit |= bit;
+        Cycle w = std::max(bank.readyForColumn, bus_wake);
+        w = std::max(w, lastColumnInGroup_[group] + timing_.tCCDl);
+        wake = std::min(wake, w);
+    }
 
-        if (!bank.rowOpen) {
-            if (act_it == queue_.end() &&
-                now_ >= bank.readyForActivate &&
-                now_ >= lastActivateAt_ + timing_.tRRD) {
-                act_it = it;
-            }
-        } else {
-            if (pre_it == queue_.end() &&
-                now_ >= bank.rowOpenedAt + timing_.tRAS &&
-                now_ >= bank.readyForActivate) {
-                pre_it = it;
+    auto act_it = queue_.end();
+    auto pre_it = queue_.end();
+    if (col_it == queue_.end()) {
+        // Pass 2 — oldest activate, oldest precharge (only reached
+        // when no column can issue, so pass 1 walked the whole queue
+        // and bank_has_hit is complete).
+        if (aged != nullptr)
+            bank_has_hit &= ~(1ull << aged->coord.bank);
+        // Dedupe: all non-hit commands on one bank face identical
+        // act/pre thresholds, so only each bank's first matters.
+        std::uint64_t seen = bank_has_hit;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            const DramCommand &cmd = *it;
+            const std::uint64_t bit = 1ull << cmd.coord.bank;
+            if ((seen & bit) != 0)
+                continue; // Shielded by an older row-hit, or this
+                          // bank's oldest non-hit already considered.
+            const DramBank &bank = banks_[cmd.coord.bank];
+            if (bank.rowOpen && bank.openRow == cmd.coord.row)
+                continue; // Row hits were pass 1's business.
+            seen |= bit;
+
+            if (!bank.rowOpen) {
+                if (act_it == queue_.end() &&
+                    now_ >= bank.readyForActivate &&
+                    now_ >= lastActivateAt_ + timing_.tRRD) {
+                    act_it = it;
+                }
+                wake = std::min(
+                    wake, std::max(bank.readyForActivate,
+                                   lastActivateAt_ + timing_.tRRD));
+            } else {
+                if (pre_it == queue_.end() &&
+                    now_ >= bank.rowOpenedAt + timing_.tRAS &&
+                    now_ >= bank.readyForActivate) {
+                    pre_it = it;
+                }
+                wake = std::min(
+                    wake, std::max(bank.rowOpenedAt + timing_.tRAS,
+                                   bank.readyForActivate));
             }
         }
     }
 
     if (col_it != queue_.end()) {
+        scanSkipUntil_ = 0; // State changes; re-scan next cycle.
         DramCommand &cmd = *col_it;
-        const std::uint32_t group = cmd.coord.bank / banksPerGroup_;
+        const std::uint32_t group = cmd.group;
         const Cycle data_start =
             std::max(busFreeAt_, now_ + timing_.tCL);
         const Cycle data_end = data_start + timing_.burstCycles;
@@ -120,15 +168,14 @@ DramChannel::tick()
         serviced_.add();
         dataCycles_[cmd.req.app].add(timing_.burstCycles);
 
-        DramCompletion completion;
-        completion.req = cmd.req;
-        completion.readyAt = data_end;
-        done.push_back(completion);
-        queue_.extract(col_it);
-        return done;
+        out.req = cmd.req;
+        out.readyAt = data_end;
+        queue_.erase(col_it);
+        return true;
     }
 
     if (act_it != queue_.end()) {
+        scanSkipUntil_ = 0;
         DramCommand &cmd = *act_it;
         DramBank &bank = banks_[cmd.coord.bank];
         bank.rowOpen = true;
@@ -138,17 +185,36 @@ DramChannel::tick()
         lastActivateAt_ = now_;
         cmd.causedActivate = true;
         rowMisses_.add();
-        return done;
+        return false;
     }
 
     if (pre_it != queue_.end()) {
+        scanSkipUntil_ = 0;
         DramBank &bank = banks_[pre_it->coord.bank];
         bank.rowOpen = false;
         bank.readyForActivate = now_ + timing_.tRP;
-        return done;
+        return false;
     }
 
-    return done;
+    // Fruitless scan. Beyond the per-command timing thresholds, the
+    // only other time-driven flip is the front request ageing past
+    // the starvation cap (which lifts the row-hit shield on its
+    // bank); include it conservatively. An early wake is harmless —
+    // the scan just runs and recomputes.
+    if (aged == nullptr) {
+        wake = std::min(wake,
+                        queue_.front().enqueuedAt + capCycles_ + 1);
+    }
+    scanSkipUntil_ = std::max(wake, now_ + 1);
+    return false;
+}
+
+void
+DramChannel::advanceIdle(std::uint64_t cycles)
+{
+    if (!queue_.empty())
+        panic("DramChannel: idle advance with queued requests");
+    now_ += cycles;
 }
 
 void
@@ -172,6 +238,7 @@ DramChannel::reset()
     std::fill(lastColumnInGroup_.begin(), lastColumnInGroup_.end(),
               Cycle{0});
     queue_.clear();
+    scanSkipUntil_ = 0;
     for (auto &c : dataCycles_)
         c.reset();
     rowHits_.reset();

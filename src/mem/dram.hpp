@@ -16,7 +16,6 @@
 #include <optional>
 #include <vector>
 
-#include "common/bounded_queue.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -30,6 +29,7 @@ struct DramCommand
 {
     MemRequest req;
     DramCoord coord;
+    std::uint32_t group = 0;    ///< Bank group (derived once on enqueue).
     Cycle enqueuedAt = 0;       ///< DRAM cycle of arrival (for FCFS age).
     bool causedActivate = false; ///< This request opened its row itself.
 };
@@ -58,16 +58,26 @@ class DramChannel
     DramChannel(const GpuConfig &cfg, std::uint32_t num_apps);
 
     /** Can another request be accepted this cycle? */
-    bool queueFull() const { return queue_.full(); }
+    bool queueFull() const { return queue_.size() >= queueCap_; }
 
     /** Enqueue a request (caller must check queueFull()). */
     void enqueue(const MemRequest &req, const DramCoord &coord);
 
     /**
-     * Advance one DRAM command cycle; may issue one column access and
-     * one activate. Completed requests are returned to the caller.
+     * Advance one DRAM command cycle; may issue one column access, or
+     * one activate, or one precharge. At most one request completes
+     * per cycle (the single data bus): if one did, it is written to
+     * @p out and the call returns true.
      */
-    std::vector<DramCompletion> tick();
+    bool tick(DramCompletion &out);
+
+    /**
+     * Batch-advance @p cycles command cycles with an empty queue:
+     * identical to @p cycles tick() calls that find nothing to do
+     * (the cycle counter still advances — it feeds the
+     * bandwidth-normalization denominator). Panics if work is queued.
+     */
+    void advanceIdle(std::uint64_t cycles);
 
     /** Current DRAM cycle count. */
     Cycle now() const { return now_; }
@@ -108,7 +118,21 @@ class DramChannel
     std::vector<DramBank> banks_;
     /** Last column access per bank group, for tCCDl vs tCCDs. */
     std::vector<Cycle> lastColumnInGroup_;
-    BoundedQueue<DramCommand> queue_;
+    /**
+     * The FR-FCFS request queue, age-ordered front to back. A flat
+     * vector (capacity reserved once, bounded by queueCap_) so the
+     * controller's per-cycle priority scans run over contiguous
+     * memory; mid-queue removal shifts, preserving age order.
+     */
+    std::vector<DramCommand> queue_;
+    std::size_t queueCap_;
+    /**
+     * No command can become issuable before this cycle (set by a scan
+     * that found nothing; cleared on enqueue and on every issue).
+     * Lets the controller skip the O(queue) priority scans while all
+     * commands sit out fixed timing constraints.
+     */
+    Cycle scanSkipUntil_ = 0;
 
     std::vector<Counter> dataCycles_;
     Counter rowHits_;

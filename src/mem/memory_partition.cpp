@@ -67,17 +67,18 @@ MemoryPartition::tick(Cycle now, std::vector<MemResponse> &out)
     dramPhase_ += cfg_.dramClockRatio;
     while (dramPhase_ >= 1.0) {
         dramPhase_ -= 1.0;
-        for (const DramCompletion &done : dram_.tick()) {
-            // Completed stores need no response and no fill.
-            if (done.req.type == MemAccessType::Store)
-                continue;
-            // Fill L2 (unless this app bypasses it) and wake every
-            // merged requester.
-            const auto fill = l2_.fill(done.req.lineAddr, done.req.app,
-                                       done.req.bypassL2);
-            for (const MemRequest &w : fill.waiters)
-                scheduleResponse(w, now + cfg_.l2HitLatency);
-        }
+        DramCompletion done;
+        if (!dram_.tick(done))
+            continue;
+        // Completed stores need no response and no fill.
+        if (done.req.type == MemAccessType::Store)
+            continue;
+        // Fill L2 (unless this app bypasses it) and wake every
+        // merged requester.
+        l2_.fill(done.req.lineAddr, done.req.app, done.req.bypassL2,
+                 fillScratch_);
+        for (const MemRequest &w : fillScratch_.waiters)
+            scheduleResponse(w, now + cfg_.l2HitLatency);
     }
 
     // 3. Release responses whose latency has elapsed.
@@ -85,6 +86,37 @@ MemoryPartition::tick(Cycle now, std::vector<MemResponse> &out)
         out.push_back(pending_.top().resp);
         pending_.pop();
     }
+}
+
+Cycle
+MemoryPartition::nextEventCycle(Cycle now) const
+{
+    if (!inputQueue_.empty() || dram_.queueDepth() != 0)
+        return now + 1;
+    if (!pending_.empty()) {
+        const Cycle ready = pending_.top().readyAt;
+        return ready > now ? ready : now + 1;
+    }
+    return kNeverCycle;
+}
+
+void
+MemoryPartition::fastForward(Cycle cycles)
+{
+    if (!inputQueue_.empty() || dram_.queueDepth() != 0)
+        panic("MemoryPartition: fast-forward with queued work");
+    // Step the phase accumulator exactly as `cycles` serial ticks
+    // would: the same float additions in the same order, so the DRAM
+    // command clock lands on the same core cycles afterwards.
+    std::uint64_t dram_ticks = 0;
+    for (Cycle c = 0; c < cycles; ++c) {
+        dramPhase_ += cfg_.dramClockRatio;
+        while (dramPhase_ >= 1.0) {
+            dramPhase_ -= 1.0;
+            ++dram_ticks;
+        }
+    }
+    dram_.advanceIdle(dram_ticks);
 }
 
 void

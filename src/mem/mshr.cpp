@@ -1,47 +1,166 @@
 #include "mem/mshr.hpp"
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 
 namespace ebm {
 
+namespace {
+
+/** Smallest power of two >= n, at least 2x for a low load factor. */
+std::size_t
+tableSizeFor(std::uint32_t entries)
+{
+    std::size_t size = 4;
+    while (size < static_cast<std::size_t>(entries) * 2)
+        size <<= 1;
+    return size;
+}
+
+} // namespace
+
 MshrFile::MshrFile(std::uint32_t entries, std::uint32_t targets_per_entry)
-    : maxEntries_(entries), maxTargets_(targets_per_entry)
+    : maxEntries_(entries),
+      maxTargets_(targets_per_entry),
+      tableMask_(tableSizeFor(entries) - 1),
+      slots_(tableMask_ + 1)
 {
     if (entries == 0 || targets_per_entry == 0)
         fatal("MshrFile: entries and targets must be > 0");
+    // Worst case every entry holds a full chain of targets; the pool
+    // never needs to grow after this.
+    pool_.resize(static_cast<std::size_t>(maxEntries_) * maxTargets_);
+    clear();
+}
+
+std::size_t
+MshrFile::probeIndex(Addr line_addr) const
+{
+    return static_cast<std::size_t>(mix64(line_addr)) & tableMask_;
+}
+
+std::uint32_t
+MshrFile::findSlot(Addr line_addr) const
+{
+    std::size_t i = probeIndex(line_addr);
+    while (slots_[i].used) {
+        if (slots_[i].line == line_addr)
+            return static_cast<std::uint32_t>(i);
+        i = (i + 1) & tableMask_;
+    }
+    return kNil;
+}
+
+std::uint32_t
+MshrFile::allocNode(const MemRequest &req)
+{
+    if (freeHead_ == kNil)
+        panic("MshrFile: waiter pool exhausted");
+    const std::uint32_t node = freeHead_;
+    freeHead_ = pool_[node].next;
+    pool_[node].req = req;
+    pool_[node].next = kNil;
+    return node;
 }
 
 MshrOutcome
 MshrFile::registerMiss(const MemRequest &req)
 {
-    auto it = entries_.find(req.lineAddr);
-    if (it != entries_.end()) {
-        if (it->second.size() >= maxTargets_)
+    const std::uint32_t found = findSlot(req.lineAddr);
+    if (found != kNil) {
+        Slot &slot = slots_[found];
+        if (slot.count >= maxTargets_)
             return MshrOutcome::Stall;
-        it->second.push_back(req);
+        const std::uint32_t node = allocNode(req);
+        pool_[slot.tail].next = node;
+        slot.tail = node;
+        ++slot.count;
         return MshrOutcome::Merged;
     }
     if (full())
         return MshrOutcome::Stall;
-    entries_.emplace(req.lineAddr, std::vector<MemRequest>{req});
+
+    std::size_t i = probeIndex(req.lineAddr);
+    while (slots_[i].used)
+        i = (i + 1) & tableMask_;
+    Slot &slot = slots_[i];
+    slot.line = req.lineAddr;
+    slot.head = slot.tail = allocNode(req);
+    slot.count = 1;
+    slot.used = true;
+    ++used_;
     return MshrOutcome::NewEntry;
 }
 
 bool
 MshrFile::inFlight(Addr line_addr) const
 {
-    return entries_.count(line_addr) != 0;
+    return findSlot(line_addr) != kNil;
+}
+
+void
+MshrFile::eraseSlot(std::uint32_t slot)
+{
+    // Backward-shift deletion keeps linear probing tombstone-free:
+    // following entries whose probe path crossed the hole move back
+    // into it, so lookups stay correct and probes stay short forever.
+    std::size_t hole = slot;
+    std::size_t i = hole;
+    for (;;) {
+        i = (i + 1) & tableMask_;
+        if (!slots_[i].used)
+            break;
+        const std::size_t home = probeIndex(slots_[i].line);
+        // Move i into the hole unless its home position lies strictly
+        // inside (hole, i] on the probe circle.
+        if (((i - home) & tableMask_) >= ((i - hole) & tableMask_)) {
+            slots_[hole] = slots_[i];
+            hole = i;
+        }
+    }
+    slots_[hole] = Slot{};
+    --used_;
+}
+
+void
+MshrFile::completeFill(Addr line_addr, std::vector<MemRequest> &out)
+{
+    const std::uint32_t found = findSlot(line_addr);
+    if (found == kNil)
+        panic("MshrFile: fill for a line with no MSHR entry");
+    Slot &slot = slots_[found];
+    std::uint32_t node = slot.head;
+    while (node != kNil) {
+        out.push_back(std::move(pool_[node].req));
+        const std::uint32_t next = pool_[node].next;
+        pool_[node].next = freeHead_;
+        freeHead_ = node;
+        node = next;
+    }
+    eraseSlot(found);
 }
 
 std::vector<MemRequest>
 MshrFile::completeFill(Addr line_addr)
 {
-    auto it = entries_.find(line_addr);
-    if (it == entries_.end())
-        panic("MshrFile: fill for a line with no MSHR entry");
-    std::vector<MemRequest> waiters = std::move(it->second);
-    entries_.erase(it);
+    std::vector<MemRequest> waiters;
+    completeFill(line_addr, waiters);
     return waiters;
+}
+
+void
+MshrFile::clear()
+{
+    for (Slot &slot : slots_)
+        slot = Slot{};
+    used_ = 0;
+    // Rebuild the free list over the whole pool.
+    freeHead_ = kNil;
+    for (std::uint32_t n = static_cast<std::uint32_t>(pool_.size());
+         n-- > 0;) {
+        pool_[n].next = freeHead_;
+        freeHead_ = n;
+    }
 }
 
 } // namespace ebm

@@ -7,11 +7,16 @@
  * file is out of entries (or an entry is out of target slots), the
  * cache must stall the requester — the structural hazard that bounds
  * per-core memory-level parallelism.
+ *
+ * Storage is allocation-free in steady state: entries live in an
+ * open-addressed (linear-probing) table sized at construction, and
+ * waiting requesters are linked-list nodes drawn from a pooled
+ * free list — no per-miss heap traffic, unlike the former
+ * unordered_map<Addr, vector<MemRequest>> layout.
  */
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -43,24 +48,56 @@ class MshrFile
     bool inFlight(Addr line_addr) const;
 
     /**
-     * Complete the fill of @p line_addr and return all waiting
-     * requesters (primary first). The entry is freed.
+     * Complete the fill of @p line_addr and append all waiting
+     * requesters (primary first) to @p out, which is NOT cleared —
+     * hot-path callers hand in a reused scratch vector. The entry is
+     * freed.
      */
+    void completeFill(Addr line_addr, std::vector<MemRequest> &out);
+
+    /** Convenience overload returning a fresh vector (tests, tools). */
     std::vector<MemRequest> completeFill(Addr line_addr);
 
-    std::uint32_t entriesInUse() const
-    {
-        return static_cast<std::uint32_t>(entries_.size());
-    }
+    std::uint32_t entriesInUse() const { return used_; }
     std::uint32_t capacity() const { return maxEntries_; }
-    bool full() const { return entries_.size() >= maxEntries_; }
+    bool full() const { return used_ >= maxEntries_; }
 
-    void clear() { entries_.clear(); }
+    void clear();
 
   private:
+    /** One open-addressed table slot: a line and its waiter chain. */
+    struct Slot
+    {
+        Addr line = 0;
+        std::uint32_t head = kNil; ///< First waiter node (primary).
+        std::uint32_t tail = kNil; ///< Last waiter node.
+        std::uint32_t count = 0;   ///< Waiters chained (targets used).
+        bool used = false;
+    };
+
+    /** One pooled waiter: the request plus an intrusive next link. */
+    struct Node
+    {
+        MemRequest req;
+        std::uint32_t next = kNil;
+    };
+
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    std::size_t probeIndex(Addr line_addr) const;
+    /** Slot of @p line_addr, or kNil if absent. */
+    std::uint32_t findSlot(Addr line_addr) const;
+    std::uint32_t allocNode(const MemRequest &req);
+    /** Erase @p slot via backward-shift (tombstone-free) deletion. */
+    void eraseSlot(std::uint32_t slot);
+
     std::uint32_t maxEntries_;
     std::uint32_t maxTargets_;
-    std::unordered_map<Addr, std::vector<MemRequest>> entries_;
+    std::uint32_t used_ = 0;
+    std::size_t tableMask_; ///< Table size - 1 (power of two).
+    std::vector<Slot> slots_;
+    std::vector<Node> pool_;
+    std::uint32_t freeHead_ = kNil;
 };
 
 } // namespace ebm

@@ -1,5 +1,7 @@
 #include "mem/tag_array.hpp"
 
+#include <bit>
+
 #include "common/log.hpp"
 
 namespace ebm {
@@ -8,6 +10,10 @@ TagArray::TagArray(const CacheGeometry &geom)
     : numSets_(geom.numSets()),
       assoc_(geom.assoc),
       lineBytes_(geom.lineBytes),
+      fastIndex_(std::has_single_bit(lineBytes_) &&
+                 std::has_single_bit(numSets_)),
+      lineShift_(
+          static_cast<std::uint32_t>(std::countr_zero(lineBytes_))),
       ways_(static_cast<std::size_t>(geom.numSets()) * geom.assoc)
 {
     if (numSets_ == 0 || assoc_ == 0)
@@ -17,6 +23,10 @@ TagArray::TagArray(const CacheGeometry &geom)
 std::uint32_t
 TagArray::setIndex(Addr line_addr) const
 {
+    if (fastIndex_) {
+        return static_cast<std::uint32_t>(line_addr >> lineShift_) &
+               (numSets_ - 1);
+    }
     return static_cast<std::uint32_t>((line_addr / lineBytes_) % numSets_);
 }
 
@@ -79,6 +89,20 @@ TagArray::probe(Addr line_addr) const
     for (std::uint32_t w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].tag == line_addr)
             return true;
+    }
+    return false;
+}
+
+bool
+TagArray::touch(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == line_addr) {
+            base[w].lastUse = ++useClock_;
+            return true;
+        }
     }
     return false;
 }

@@ -45,6 +45,13 @@ class TagArray
     /** Probe without changing any state. */
     bool probe(Addr line_addr) const;
 
+    /**
+     * Probe and, on a hit, refresh the line's LRU position — one set
+     * walk instead of probe() + access(). The use clock advances only
+     * on a hit, exactly as the probe-then-access sequence it replaces.
+     */
+    bool touch(Addr line_addr);
+
     /** Invalidate a line if present. @return true if it was present. */
     bool invalidate(Addr line_addr);
 
@@ -90,6 +97,10 @@ class TagArray
     std::uint32_t numSets_;
     std::uint32_t assoc_;
     std::uint32_t lineBytes_;
+    /** Line size and set count are powers of two (stock geometries):
+     *  setIndex is then a shift+mask instead of two divisions. */
+    bool fastIndex_;
+    std::uint32_t lineShift_;
     std::uint64_t useClock_ = 0;
     std::vector<Way> ways_; ///< numSets_ x assoc_, row-major.
     std::vector<WayRange> partitions_; ///< Indexed by AppId.

@@ -52,6 +52,12 @@ Gpu::Gpu(const GpuConfig &cfg, std::vector<AppProfile> apps,
         partitions_.push_back(
             std::make_unique<MemoryPartition>(cfg_, amap_, numApps_));
     }
+
+    // Scratch vectors are sized once here; the per-cycle loop only
+    // clears and swaps them, never reallocates in steady state.
+    respScratch_.reserve(cfg_.frfcfsQueueDepth);
+    holdover_.reserve(cfg_.frfcfsQueueDepth);
+    holdoverScratch_.reserve(cfg_.frfcfsQueueDepth);
 }
 
 void
@@ -92,7 +98,7 @@ Gpu::tick()
 
     // Retry responses that found the network full last cycle.
     if (!holdover_.empty()) {
-        std::vector<MemResponse> still_blocked;
+        holdoverScratch_.clear();
         for (const MemResponse &resp : holdover_) {
             // The partition of origin no longer matters for retry
             // fairness at this scale; use core-hash for the port.
@@ -100,9 +106,9 @@ Gpu::tick()
             if (xbar_.responseNet().canAccept(p, resp.core))
                 xbar_.responseNet().inject(p, resp.core, resp);
             else
-                still_blocked.push_back(resp);
+                holdoverScratch_.push_back(resp);
         }
-        holdover_.swap(still_blocked);
+        holdover_.swap(holdoverScratch_);
     }
 
     // Cores absorb responses and local completions.
@@ -110,11 +116,73 @@ Gpu::tick()
         core->tickResponses(now_, xbar_);
 }
 
+Cycle
+Gpu::nextEventCycle() const
+{
+    if (!holdover_.empty())
+        return now_ + 1;
+    Cycle next = kNeverCycle;
+    // Cores first: a ready warp is the common case, and the reduction
+    // can stop as soon as anything wants the very next cycle.
+    for (const auto &core : cores_) {
+        const Cycle c = core->nextEventCycle(now_);
+        if (c < next)
+            next = c;
+        if (next <= now_ + 1)
+            return now_ + 1;
+    }
+    const Cycle x = xbar_.nextEventCycle(now_);
+    if (x < next)
+        next = x;
+    if (next <= now_ + 1)
+        return now_ + 1;
+    for (const auto &part : partitions_) {
+        const Cycle p = part->nextEventCycle(now_);
+        if (p < next)
+            next = p;
+        if (next <= now_ + 1)
+            return now_ + 1;
+    }
+    return next;
+}
+
+void
+Gpu::fastForwardTo(Cycle target)
+{
+    const Cycle n = target - now_;
+    for (auto &core : cores_)
+        core->fastForward(n);
+    // The crossbar holds no per-cycle state while its VOQs are empty
+    // (in-flight arrivals are timestamped), so only the cores' idle
+    // accounting and the partitions' DRAM clock need to move.
+    for (auto &part : partitions_)
+        part->fastForward(n);
+    now_ = target;
+    fastForwardedCycles_ += n;
+}
+
 void
 Gpu::run(Cycle cycles)
 {
-    for (Cycle c = 0; c < cycles; ++c)
-        tick();
+    const Cycle end = now_ + cycles;
+    if (!fastForward_) {
+        while (now_ < end)
+            tick();
+        return;
+    }
+    while (now_ < end) {
+        const Cycle next = nextEventCycle();
+        // Every cycle strictly before `next` is provably a no-op
+        // apart from idle accounting: skip to next-1, then simulate
+        // the event cycle itself normally.
+        Cycle target = next == kNeverCycle ? end : next - 1;
+        if (target > end)
+            target = end;
+        if (target > now_)
+            fastForwardTo(target);
+        if (now_ < end)
+            tick();
+    }
 }
 
 void
@@ -245,6 +313,7 @@ void
 Gpu::reset(bool flush_caches)
 {
     now_ = 0;
+    fastForwardedCycles_ = 0;
     for (auto &core : cores_)
         core->reset(flush_caches);
     xbar_.clear();

@@ -39,8 +39,25 @@ class Gpu
     /** Advance one core-clock cycle. */
     void tick();
 
-    /** Run for @p cycles core cycles. */
+    /**
+     * Run for @p cycles core cycles. When fast-forward is enabled
+     * (the default), stretches in which no component can do anything
+     * — no warp ready, networks drained, memory quiet — are
+     * batch-advanced to the next event instead of ticked one by one.
+     * All counters advance exactly as the serial loop would; results
+     * are bit-identical either way (the golden-digest tests pin this).
+     */
     void run(Cycle cycles);
+
+    /** Enable/disable quiescence fast-forward inside run(). */
+    void setFastForward(bool enabled) { fastForward_ = enabled; }
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /** Cycles skipped (not ticked serially) by run() so far. */
+    std::uint64_t fastForwardedCycles() const
+    {
+        return fastForwardedCycles_;
+    }
 
     Cycle now() const { return now_; }
 
@@ -121,10 +138,33 @@ class Gpu
     /** Start a new sampling window on every counter in the machine. */
     void checkpoint();
 
-    /** Clear all state for a fresh measurement. */
+    /**
+     * Clear all state for a fresh measurement. Always reset: the
+     * cycle counter, every warp cursor (nextInstr, microIdx,
+     * outstanding counts, streamPos — a relaunch replays the same
+     * access stream), scheduler greedy pointers, in-flight traffic
+     * (networks, holdover, partition queues), DRAM bank/timing state,
+     * victim tags, and every statistics counter. Preserved: the knob
+     * settings (TLP limits, L1/L2 bypass flags, L2 way partitions)
+     * and — with @p flush_caches false — L1/L2 tag contents, so a
+     * measurement can start against warm caches. TraceGen and the
+     * address hash are stateless, so replayed runs are deterministic.
+     */
     void reset(bool flush_caches = true);
 
   private:
+    /**
+     * Earliest cycle after now_ at which any component can change
+     * state, min-reduced over cores, both crossbar networks, memory
+     * partitions, and the response holdover. kNeverCycle means the
+     * machine is fully drained with nothing ready (only possible if
+     * every warp is blocked forever — a deadlock; run() then burns
+     * idle cycles to the horizon exactly like the serial loop).
+     */
+    Cycle nextEventCycle() const;
+
+    /** Batch-advance now_ and all idle accounting to @p target. */
+    void fastForwardTo(Cycle target);
     GpuConfig cfg_;
     std::vector<AppProfile> apps_;
     AddressMap amap_;
@@ -139,6 +179,10 @@ class Gpu
     std::vector<MemResponse> respScratch_;
     /** Responses blocked by response-network back-pressure. */
     std::vector<MemResponse> holdover_;
+    /** Swap partner of holdover_ (no per-cycle vector allocation). */
+    std::vector<MemResponse> holdoverScratch_;
+    bool fastForward_ = true;
+    std::uint64_t fastForwardedCycles_ = 0;
 };
 
 } // namespace ebm

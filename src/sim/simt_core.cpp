@@ -12,6 +12,8 @@ SimtCore::SimtCore(const GpuConfig &cfg, const AddressMap &amap,
       app_(app),
       tracer_(tracer),
       warps_(cfg.maxWarpsPerCore),
+      curInstr_(cfg.maxWarpsPerCore),
+      curInstrIdx_(cfg.maxWarpsPerCore, kStaleInstr),
       l1_(cfg.l1, cfg.numApps),
       victimTags_([&cfg] {
           // Victim tags track twice the L1's line count at the same
@@ -38,6 +40,8 @@ SimtCore::SimtCore(const GpuConfig &cfg, const AddressMap &amap,
             ids.push_back(i * cfg.schedulersPerCore + s);
         schedulers_.emplace_back(std::move(ids), per_sched);
     }
+    for (WarpId w = 0; w < warps_.size(); ++w)
+        refreshWarp(w);
 }
 
 void
@@ -47,27 +51,35 @@ SimtCore::setTlpLimit(std::uint32_t warps_per_scheduler)
         sched.setTlpLimit(warps_per_scheduler);
 }
 
-bool
-SimtCore::warpReady(WarpId warp) const
+void
+SimtCore::refreshWarp(WarpId warp)
 {
     const WarpState &w = warps_[warp];
-    const InstrDesc instr = tracer_->instrAt(w.nextInstr);
-    if (instr.waitsForMem && w.outstanding > 0)
-        return false;
-    return true;
+    if (curInstrIdx_[warp] != w.nextInstr) {
+        curInstr_[warp] = tracer_->instrAt(w.nextInstr);
+        curInstrIdx_[warp] = w.nextInstr;
+    }
+    const bool ready =
+        !(curInstr_[warp].waitsForMem && w.outstanding > 0);
+    schedulers_[warp % cfg_.schedulersPerCore].setReady(
+        warp / cfg_.schedulersPerCore, ready);
 }
 
 bool
 SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
 {
     WarpState &w = warps_[warp];
-    const InstrDesc instr = tracer_->instrAt(w.nextInstr);
+    // The decode cache is kept in lockstep with nextInstr, so the
+    // instruction the readiness mask was derived from is reused here
+    // rather than decoded a second time.
+    const InstrDesc instr = curInstr_[warp];
 
     if (!instr.isLoad && !instr.isStore) {
         // Compute instructions are fully pipelined at the issue stage.
         ++w.nextInstr;
         ++w.instrsRetired;
         instrsRetired_.add();
+        refreshWarp(warp);
         return true;
     }
 
@@ -77,7 +89,7 @@ SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
     const std::uint64_t gwarp =
         static_cast<std::uint64_t>(id_) * cfg_.maxWarpsPerCore + warp;
     const Addr line = tracer_->lineAddr(gwarp, w.nextInstr, w.microIdx,
-                                        w.streamPos);
+                                        w.streamPos, instr);
 
     if (instr.isStore) {
         // Write-through, no-allocate, fire-and-forget: the store
@@ -97,6 +109,7 @@ SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
         ++w.nextInstr;
         ++w.instrsRetired;
         instrsRetired_.add();
+        refreshWarp(warp);
         return true;
     }
 
@@ -145,6 +158,7 @@ SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
         ++w.instrsRetired;
         instrsRetired_.add();
     }
+    refreshWarp(warp);
     return true;
 }
 
@@ -155,8 +169,7 @@ SimtCore::tickIssue(Cycle now, Crossbar &xbar)
     bool any_structural = false;
     for (WarpScheduler &sched : schedulers_) {
         for (std::uint32_t n = 0; n < cfg_.maxIssuePerScheduler; ++n) {
-            const WarpId warp = sched.pick(
-                [this](WarpId w) { return warpReady(w); });
+            const WarpId warp = sched.pickReady();
             if (warp == WarpScheduler::kNoWarp)
                 break;
             if (!issueFrom(warp, now, xbar)) {
@@ -165,7 +178,7 @@ SimtCore::tickIssue(Cycle now, Crossbar &xbar)
                 any_structural = true;
                 break;
             }
-            sched.issued(warp);
+            sched.issuedAt(warp / cfg_.schedulersPerCore);
             any_issued = true;
         }
     }
@@ -179,20 +192,53 @@ SimtCore::tickIssue(Cycle now, Crossbar &xbar)
         // Only off-chip latency counts as "memory waiting": waiting
         // out an L1 hit is a parallelism shortfall, not contention
         // (this is the distinction DynCTA's c_mem signal relies on).
-        bool mem_blocked = false;
-        for (const WarpScheduler &sched : schedulers_) {
-            for (WarpId w : sched.activeWarps()) {
-                if (warps_[w].outstandingOffchip > 0) {
-                    mem_blocked = true;
-                    break;
-                }
-            }
-            if (mem_blocked)
-                break;
-        }
-        if (mem_blocked)
+        if (anyActiveMemBlocked())
             memWaitCycles_.add();
     }
+}
+
+bool
+SimtCore::anyActiveMemBlocked() const
+{
+    for (const WarpScheduler &sched : schedulers_) {
+        for (std::uint32_t i = 0; i < sched.tlpLimit(); ++i) {
+            if (warps_[sched.warpAt(i)].outstandingOffchip > 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+Cycle
+SimtCore::nextEventCycle(Cycle now) const
+{
+    for (const WarpScheduler &sched : schedulers_) {
+        if (sched.anyActiveReady())
+            return now + 1;
+    }
+    if (!localPending_.empty()) {
+        const Cycle ready = localPending_.top().readyAt;
+        return ready > now ? ready : now + 1;
+    }
+    // Blocked on off-chip responses (or fully drained): the crossbar
+    // or a memory partition owns the next event.
+    return kNeverCycle;
+}
+
+void
+SimtCore::fastForward(Cycle cycles)
+{
+    for (const WarpScheduler &sched : schedulers_) {
+        if (sched.anyActiveReady())
+            panic("SimtCore: fast-forward with a ready warp");
+    }
+    // Exactly what `cycles` idle tickIssue calls would do: no issue,
+    // no structural stall (that needs a ready warp), idle every cycle,
+    // memory-wait iff an active warp is blocked off-chip — and that
+    // predicate cannot change while the whole GPU is quiescent.
+    idleCycles_.add(cycles);
+    if (anyActiveMemBlocked())
+        memWaitCycles_.add(cycles);
 }
 
 void
@@ -200,26 +246,28 @@ SimtCore::tickResponses(Cycle now, Crossbar &xbar)
 {
     // L1-hit latency expirations.
     while (!localPending_.empty() && localPending_.top().readyAt <= now) {
-        WarpState &w = warps_[localPending_.top().warp];
+        const WarpId warp = localPending_.top().warp;
+        WarpState &w = warps_[warp];
         if (w.outstanding == 0)
             panic("SimtCore: completion for a warp with none pending");
         --w.outstanding;
         localPending_.pop();
+        refreshWarp(warp);
     }
 
     // Fills coming back over the crossbar.
     MemResponse resp;
     while (xbar.responseNet().tryEject(id_, now, resp)) {
-        const auto fill =
-            l1_.fill(resp.lineAddr, resp.app, resp.bypassL1);
-        if (fill.evictedValid)
-            victimTags_.access(fill.evictedLine, app_, true);
-        for (const MemRequest &req : fill.waiters) {
+        l1_.fill(resp.lineAddr, resp.app, resp.bypassL1, fillScratch_);
+        if (fillScratch_.evictedValid)
+            victimTags_.access(fillScratch_.evictedLine, app_, true);
+        for (const MemRequest &req : fillScratch_.waiters) {
             WarpState &w = warps_[req.warp];
             if (w.outstanding == 0 || w.outstandingOffchip == 0)
                 panic("SimtCore: fill for a warp with none pending");
             --w.outstanding;
             --w.outstandingOffchip;
+            refreshWarp(req.warp);
         }
     }
 }
@@ -252,6 +300,11 @@ SimtCore::reset(bool flush_l1)
     stallCycles_.reset();
     lostLocality_.reset();
     victimTags_.flush();
+    // Warp cursors moved back to instruction 0: re-derive the decode
+    // cache and readiness masks (all warps become ready again).
+    std::fill(curInstrIdx_.begin(), curInstrIdx_.end(), kStaleInstr);
+    for (WarpId w = 0; w < warps_.size(); ++w)
+        refreshWarp(w);
 }
 
 } // namespace ebm

@@ -4,6 +4,15 @@
  * contexts, two GTO+SWL issue arbiters, an L1 data cache with MSHRs,
  * and the load/store path into the crossbar. Each core belongs to
  * exactly one application (the paper's exclusive core partitioning).
+ *
+ * Hot-path structure: each warp's next instruction is decoded once
+ * per instruction-pointer advance and cached (TraceGen::instrAt is a
+ * hash cascade, so re-decoding per readiness probe is the dominant
+ * issue-stage cost), and warp readiness is pushed into the
+ * schedulers' ready masks on every transition instead of re-derived
+ * per pick. The core also reports the next cycle at which it can
+ * possibly act (nextEventCycle) and supports batch-advancing its
+ * idle accounting (fastForward) for the GPU's quiescence skip.
  */
 #pragma once
 
@@ -43,6 +52,23 @@ class SimtCore
 
     /** Accept memory responses arriving from the crossbar. */
     void tickResponses(Cycle now, Crossbar &xbar);
+
+    /**
+     * Earliest cycle after @p now at which this core can possibly do
+     * work: now+1 if any SWL-active warp can issue, else the first
+     * L1-hit completion that will unblock one, else never (an
+     * off-chip response must arrive first — the interconnect or
+     * memory partition owns that event).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Batch-advance @p cycles fully idle cycles: every counter moves
+     * exactly as @p cycles serial tickIssue calls with no ready warp
+     * would have moved it. The caller (Gpu::run fast-forward)
+     * guarantees quiescence; this panics if a warp is in fact ready.
+     */
+    void fastForward(Cycle cycles);
 
     /** Apply a new per-scheduler TLP limit (the SWL knob). */
     void setTlpLimit(std::uint32_t warps_per_scheduler);
@@ -107,11 +133,21 @@ class SimtCore
     void reset(bool flush_l1);
 
   private:
-    /** Can @p warp issue this cycle? */
-    bool warpReady(WarpId warp) const;
-
     /** Try to issue one instruction from @p warp. @return success. */
     bool issueFrom(WarpId warp, Cycle now, Crossbar &xbar);
+
+    /**
+     * Re-derive @p warp's cached decode + readiness after its state
+     * changed (issue, fill, reset) and push it to its scheduler. The
+     * instruction is only re-decoded when nextInstr actually moved.
+     */
+    void refreshWarp(WarpId warp);
+
+    /** Any SWL-active warp blocked on an off-chip load? */
+    bool anyActiveMemBlocked() const;
+
+    /** curInstrIdx_ value marking a decode-cache entry as stale. */
+    static constexpr std::uint64_t kStaleInstr = ~std::uint64_t{0};
 
     struct LocalCompletion
     {
@@ -133,6 +169,10 @@ class SimtCore
 
     std::vector<WarpState> warps_;
     std::vector<WarpScheduler> schedulers_;
+    /** Decoded instruction at each warp's nextInstr (decode cache). */
+    std::vector<InstrDesc> curInstr_;
+    /** nextInstr value curInstr_ was decoded at (kStaleInstr = stale). */
+    std::vector<std::uint64_t> curInstrIdx_;
     Cache l1_;
     /**
      * Victim tags of recently evicted L1 lines. An L1 miss that hits
@@ -143,6 +183,8 @@ class SimtCore
     /** L1-hit responses waiting out the hit latency. */
     std::priority_queue<LocalCompletion, std::vector<LocalCompletion>,
                         std::greater<LocalCompletion>> localPending_;
+    /** Reused fill scratch: zero steady-state allocation per fill. */
+    Cache::FillResult fillScratch_;
 
     Counter instrsRetired_;
     Counter idleCycles_;

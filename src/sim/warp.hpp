@@ -25,7 +25,8 @@ struct WarpState
     std::uint64_t streamPos = 0;   ///< Stream-category access counter.
     std::uint64_t instrsRetired = 0;
 
-    /** Reset for a fresh run (kernel relaunch keeps streamPos). */
+    /** Reset every cursor for a fresh run, including streamPos: a
+     *  relaunched kernel replays the identical access stream. */
     void
     reset()
     {

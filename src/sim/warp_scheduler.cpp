@@ -12,6 +12,9 @@ WarpScheduler::WarpScheduler(std::vector<WarpId> warp_ids,
 {
     if (warpIds_.empty())
         fatal("WarpScheduler: no warp contexts");
+    if (warpIds_.size() > 64)
+        fatal("WarpScheduler: at most 64 warp contexts per scheduler "
+              "(ready-mask width)");
     tlpLimit_ = 1;
     setTlpLimit(tlp_limit);
 }
@@ -23,6 +26,16 @@ WarpScheduler::setTlpLimit(std::uint32_t limit)
     tlpLimit_ = std::clamp<std::uint32_t>(limit, 1, max_limit);
 }
 
+std::uint32_t
+WarpScheduler::positionOf(WarpId warp) const
+{
+    for (std::uint32_t i = 0; i < warpIds_.size(); ++i) {
+        if (warpIds_[i] == warp)
+            return i;
+    }
+    return kNoPos;
+}
+
 std::vector<WarpId>
 WarpScheduler::activeWarps() const
 {
@@ -30,10 +43,22 @@ WarpScheduler::activeWarps() const
 }
 
 WarpId
-WarpScheduler::pick(const std::function<bool(WarpId)> &is_ready)
+WarpScheduler::pickReady() const
 {
+    const std::uint64_t ready = readyMask_ & windowMask();
+    if (ready == 0)
+        return kNoWarp;
     // Greedy: stick with the last-issued warp while it is both ready
     // and still within the SWL window.
+    if (lastPos_ < tlpLimit_ && (ready & (1ull << lastPos_)) != 0)
+        return lastIssued_;
+    // Then oldest: age order equals position in warpIds_.
+    return warpIds_[std::countr_zero(ready)];
+}
+
+WarpId
+WarpScheduler::pick(const std::function<bool(WarpId)> &is_ready)
+{
     if (lastIssued_ != kNoWarp) {
         for (std::uint32_t i = 0; i < tlpLimit_; ++i) {
             if (warpIds_[i] == lastIssued_) {
@@ -43,7 +68,6 @@ WarpScheduler::pick(const std::function<bool(WarpId)> &is_ready)
             }
         }
     }
-    // Then oldest: age order equals position in warpIds_.
     for (std::uint32_t i = 0; i < tlpLimit_; ++i) {
         if (is_ready(warpIds_[i]))
             return warpIds_[i];

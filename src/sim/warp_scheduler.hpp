@@ -7,9 +7,17 @@
  * otherwise falls back to the oldest ready warp. SWL exposes only the
  * first `tlpLimit` warp contexts of the scheduler to the GTO logic —
  * the warp-granularity TLP knob every scheme in the paper turns.
+ *
+ * Readiness is tracked incrementally: the owning core reports warp
+ * ready/blocked transitions as they happen (issue, fill, wakeup) via
+ * setReady(), and the scheduler keeps them in a bitmask ordered by
+ * age position. pickReady() is then a masked find-first-set instead
+ * of a per-pick rescan of every warp context, and anyActiveReady()
+ * (the quiescence-fast-forward gate) is a single mask test.
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -24,38 +32,105 @@ class WarpScheduler
   public:
     /**
      * @param warp_ids  hardware warp contexts owned by this scheduler,
-     *                  in age order (index 0 = oldest)
+     *                  in age order (index 0 = oldest); at most 64
      * @param tlp_limit initial SWL limit (warps exposed to GTO)
      */
     WarpScheduler(std::vector<WarpId> warp_ids, std::uint32_t tlp_limit);
 
     /**
      * Pick the next warp to issue from, in GTO order, among the first
-     * tlpLimit() warps. @p is_ready reports whether a warp can issue
-     * this cycle. @return the warp id, or kNoWarp if none is ready.
+     * tlpLimit() warps, using the incrementally maintained ready
+     * mask. @return the warp id, or kNoWarp if none is ready.
+     */
+    WarpId pickReady() const;
+
+    /**
+     * Legacy callback-driven pick (tests, tools): @p is_ready is
+     * evaluated per candidate warp; the ready mask is ignored.
      */
     WarpId pick(const std::function<bool(WarpId)> &is_ready);
 
     /** Record that @p warp actually issued (updates greedy state). */
-    void issued(WarpId warp) { lastIssued_ = warp; }
+    void issued(WarpId warp)
+    {
+        lastIssued_ = warp;
+        lastPos_ = positionOf(warp);
+    }
+
+    /**
+     * Same as issued(), but the caller supplies the warp's age
+     * position directly (the hot path knows it without a scan).
+     */
+    void issuedAt(std::uint32_t pos)
+    {
+        lastIssued_ = warpIds_[pos];
+        lastPos_ = pos;
+    }
+
+    /**
+     * Report the readiness of the warp at age position @p pos (its
+     * index in the constructor's warp_ids). Maintained by the owning
+     * core on every issue/wakeup transition.
+     */
+    void
+    setReady(std::uint32_t pos, bool ready)
+    {
+        if (ready)
+            readyMask_ |= 1ull << pos;
+        else
+            readyMask_ &= ~(1ull << pos);
+    }
+
+    /** Any warp inside the SWL window ready to issue? */
+    bool
+    anyActiveReady() const
+    {
+        return (readyMask_ & windowMask()) != 0;
+    }
 
     /** Change the SWL limit (clamped to the context count). */
     void setTlpLimit(std::uint32_t limit);
 
     /** Forget the greedy pointer (core reset / kernel relaunch). */
-    void resetGreedy() { lastIssued_ = kNoWarp; }
+    void
+    resetGreedy()
+    {
+        lastIssued_ = kNoWarp;
+        lastPos_ = kNoPos;
+    }
 
     std::uint32_t tlpLimit() const { return tlpLimit_; }
 
-    /** Warps currently exposed to the GTO logic. */
+    /** Number of warp contexts owned by this scheduler. */
+    std::uint32_t numWarps() const
+    {
+        return static_cast<std::uint32_t>(warpIds_.size());
+    }
+
+    /** Warp id at age position @p pos (0 = oldest). */
+    WarpId warpAt(std::uint32_t pos) const { return warpIds_[pos]; }
+
+    /** Warps currently exposed to the GTO logic (allocates; tests). */
     std::vector<WarpId> activeWarps() const;
 
     static constexpr WarpId kNoWarp = 0xffffffffu;
 
   private:
+    static constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+    std::uint64_t
+    windowMask() const
+    {
+        return tlpLimit_ >= 64 ? ~0ull : (1ull << tlpLimit_) - 1;
+    }
+
+    std::uint32_t positionOf(WarpId warp) const;
+
     std::vector<WarpId> warpIds_; ///< Age order.
     std::uint32_t tlpLimit_;
+    std::uint64_t readyMask_ = 0; ///< Bit i: warpIds_[i] can issue.
     WarpId lastIssued_ = kNoWarp;
+    std::uint32_t lastPos_ = kNoPos;
 };
 
 } // namespace ebm

@@ -55,9 +55,9 @@ TraceGen::instrAt(std::uint64_t idx) const
 
 Addr
 TraceGen::lineAddr(std::uint64_t gwarp, std::uint64_t idx,
-                   std::uint32_t line_idx, std::uint64_t stream_pos) const
+                   std::uint32_t line_idx, std::uint64_t stream_pos,
+                   const InstrDesc &instr) const
 {
-    const InstrDesc instr = instrAt(idx);
     const std::uint64_t h =
         hashIds(profile_.seed, gwarp, idx, line_idx);
     Addr offset = 0;

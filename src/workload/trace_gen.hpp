@@ -63,7 +63,20 @@ class TraceGen
      *                   transaction)
      */
     Addr lineAddr(std::uint64_t gwarp, std::uint64_t idx,
-                  std::uint32_t line_idx, std::uint64_t stream_pos) const;
+                  std::uint32_t line_idx, std::uint64_t stream_pos) const
+    {
+        return lineAddr(gwarp, idx, line_idx, stream_pos, instrAt(idx));
+    }
+
+    /**
+     * Same, but with the decoded instruction supplied by the caller
+     * (the issue path already holds it in its per-warp decode cache;
+     * re-deriving it here would repeat the modulo and category hash).
+     * @p instr must equal instrAt(idx).
+     */
+    Addr lineAddr(std::uint64_t gwarp, std::uint64_t idx,
+                  std::uint32_t line_idx, std::uint64_t stream_pos,
+                  const InstrDesc &instr) const;
 
     const AppProfile &profile() const { return profile_; }
 

@@ -36,7 +36,8 @@ class DramTest : public ::testing::Test
     {
         std::vector<DramCompletion> all;
         for (Cycle c = 0; c < limit && all.size() < n; ++c) {
-            for (auto &done : dram_.tick())
+            DramCompletion done;
+            if (dram_.tick(done))
                 all.push_back(done);
         }
         return all;

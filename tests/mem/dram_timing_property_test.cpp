@@ -31,7 +31,8 @@ serviceTime(const GpuConfig &cfg, std::uint32_t n,
     std::uint32_t done = 0;
     Cycle last = 0;
     for (Cycle c = 0; c < 100'000 && done < n; ++c) {
-        for (const auto &completion : dram.tick()) {
+        DramCompletion completion;
+        if (dram.tick(completion)) {
             ++done;
             last = completion.readyAt;
         }
@@ -122,10 +123,9 @@ TEST(DramTimingProperty, StarvationCapBoundsWorstCaseWait)
                 stream_coord.col = (++col) % 16;
                 dram.enqueue(stream_req, stream_coord);
             }
-            for (const auto &completion : dram.tick()) {
-                if (completion.req.app == 1)
-                    victim_done = completion.readyAt;
-            }
+            DramCompletion completion;
+            if (dram.tick(completion) && completion.req.app == 1)
+                victim_done = completion.readyAt;
         }
         ASSERT_GT(victim_done, 0u)
             << "victim must eventually be served (cap " << cap << ")";
@@ -158,10 +158,9 @@ TEST(DramTimingProperty, TighterCapServesVictimSooner)
                 sc.col = (++col) % 16;
                 dram.enqueue(stream_req, sc);
             }
-            for (const auto &completion : dram.tick()) {
-                if (completion.req.app == 1)
-                    done = completion.readyAt;
-            }
+            DramCompletion completion;
+            if (dram.tick(completion) && completion.req.app == 1)
+                done = completion.readyAt;
         }
         return done;
     };

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
+#include "sim/golden_digest.hpp"
 
 namespace ebm {
 namespace {
@@ -148,6 +149,41 @@ TEST_F(GpuTest, ResetIsFullRoundTrip)
     gpu.run(3000);
     EXPECT_EQ(gpu.appInstrs(0), instrs_first)
         << "reset restores the initial state exactly";
+}
+
+TEST_F(GpuTest, ResetWithoutFlushKeepsCacheContents)
+{
+    // reset(flush_caches=false) clears every cycle/warp/traffic/
+    // counter state but leaves the L1/L2 tag contents in place, so
+    // the replayed (identical) access stream starts against warm
+    // caches and must miss less than the cold first run.
+    Gpu gpu(cfg_, apps_);
+    gpu.run(3000);
+    const double cold_mr = gpu.appL1MissRate(1); // cacheApp
+    gpu.reset(/*flush_caches=*/false);
+    gpu.run(3000);
+    EXPECT_LT(gpu.appL1MissRate(1), cold_mr)
+        << "warm tags must convert some cold misses into hits";
+}
+
+TEST_F(GpuTest, ResetPreservesKnobSettings)
+{
+    // Knobs (TLP limits, bypass flags) survive reset; everything else
+    // round-trips, so a reset GPU must replay exactly like a freshly
+    // built one configured with the same knobs.
+    Gpu twice(cfg_, apps_);
+    twice.setAppTlp(0, 2);
+    twice.setAppL1Bypass(1, true);
+    twice.run(3000);
+    twice.reset();
+    twice.run(3000);
+
+    Gpu once(cfg_, apps_);
+    once.setAppTlp(0, 2);
+    once.setAppL1Bypass(1, true);
+    once.run(3000);
+
+    EXPECT_EQ(goldenDigest(once), goldenDigest(twice));
 }
 
 TEST_F(GpuTest, SoloAppUsesAllCores)
