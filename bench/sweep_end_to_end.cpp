@@ -1,0 +1,134 @@
+/**
+ * @file
+ * End-to-end sweep-engine benchmark (google-benchmark): the wall
+ * clock of a *cold* Figure-1-shaped exhaustive sweep (2 catalog apps,
+ * the standard 8-level ladder, 64 combinations, empty disk cache) and
+ * of a *warm* ProfileDb pass (every alone-run level already cached).
+ *
+ * The cold case is the harness's dominant workload and the target of
+ * the reuse work: simulator pooling (BM_SweepEndToEnd/pool=1 vs 0),
+ * shared trace artifacts, cost-ordered dispatch, and the sharded
+ * cache all land here. Worker count follows EBM_JOBS, like every
+ * sweep (the recorded BENCH_sweep.json procedure pins EBM_JOBS=8;
+ * see EXPERIMENTS.md). Not a paper figure.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "harness/disk_cache.hpp"
+#include "harness/exhaustive.hpp"
+#include "harness/gpu_pool.hpp"
+#include "harness/profile_db.hpp"
+#include "harness/runner.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/workload_suite.hpp"
+
+namespace {
+
+using namespace ebm;
+
+/** The fast-test machine shape: big enough to exercise every
+ * subsystem, small enough that a 64-combo cold sweep is seconds. */
+GpuConfig
+benchConfig()
+{
+    GpuConfig cfg;
+    cfg.numCores = 4;
+    cfg.numPartitions = 2;
+    cfg.numApps = 2;
+    cfg.maxWarpsPerCore = 16;
+    cfg.schedulersPerCore = 2;
+    cfg.l1 = {8 * 1024, 4, 128, 16, 4};
+    cfg.l2Slice = {64 * 1024, 8, 128, 32, 4};
+    cfg.banksPerChannel = 8;
+    cfg.bankGroups = 4;
+    cfg.frfcfsQueueDepth = 32;
+    return cfg;
+}
+
+RunOptions
+benchOptions()
+{
+    RunOptions opts;
+    opts.warmupCycles = 1000;
+    opts.measureCycles = 6000;
+    opts.windowCycles = 500;
+    return opts;
+}
+
+/**
+ * One cold 64-combination sweep per iteration: fresh cache file,
+ * fresh Exhaustive, the full standard ladder for BFS_FFT. range(0)
+ * toggles the simulator pool so its contribution is visible in one
+ * run of the binary.
+ */
+void
+BM_SweepEndToEnd(benchmark::State &state)
+{
+    const bool pool_on = state.range(0) != 0;
+    const bool pool_was = GpuPool::enabled();
+    GpuPool::setEnabled(pool_on);
+
+    const std::string path = "bench_sweep_cold.cache";
+    Runner runner(benchConfig(), benchOptions());
+    const Workload wl = makePair("BFS", "FFT");
+
+    std::size_t simulated = 0;
+    for (auto _ : state) {
+        std::remove(path.c_str());
+        DiskCache cache(path);
+        Exhaustive ex(runner, cache);
+        ex.sweep(wl);
+        simulated += ex.status().simulated;
+    }
+    state.SetLabel(pool_on ? "pool=on" : "pool=off");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(simulated));
+
+    std::remove(path.c_str());
+    GpuPool::setEnabled(pool_was);
+}
+BENCHMARK(BM_SweepEndToEnd)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+/**
+ * The warm complement: every alone-run level of both apps is already
+ * in the disk cache, so an iteration measures fingerprinting, cache
+ * probing, and profile assembly — the path every bench binary takes
+ * after its first run.
+ */
+void
+BM_SweepWarmProfileDb(benchmark::State &state)
+{
+    const std::string path = "bench_sweep_warm.cache";
+    std::remove(path.c_str());
+    Runner runner(benchConfig(), benchOptions());
+    {
+        DiskCache warmup(path);
+        ProfileDb db(runner, warmup);
+        db.profile(findApp("BFS"));
+        db.profile(findApp("FFT"));
+    }
+
+    DiskCache cache(path);
+    for (auto _ : state) {
+        ProfileDb db(runner, cache);
+        benchmark::DoNotOptimize(db.profile(findApp("BFS")).bestTlp);
+        benchmark::DoNotOptimize(db.profile(findApp("FFT")).bestTlp);
+    }
+    if (cache.misses() != 0)
+        state.SkipWithError("warm pass missed the cache");
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_SweepWarmProfileDb)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,8 +1,10 @@
 #include "common/config.hpp"
 
+#include <bit>
 #include <string>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 
 namespace ebm {
 
@@ -68,6 +70,47 @@ GpuConfig::check() const
     if (rowBytes < interleaveBytes)
         bad("GpuConfig: row buffer smaller than the interleave chunk");
     return errors;
+}
+
+namespace {
+
+std::uint64_t
+hashCacheGeometry(std::uint64_t h, const CacheGeometry &g)
+{
+    h = hashIds(h, g.sizeBytes, g.assoc, g.lineBytes);
+    return hashIds(h, g.mshrEntries, g.mshrTargetsPerEntry);
+}
+
+} // namespace
+
+std::uint64_t
+configHash(const GpuConfig &cfg)
+{
+    // Every field, in declaration order. The size tripwires fire when
+    // a field is added to either struct, pointing here.
+    static_assert(sizeof(DramTiming) == 8 * sizeof(std::uint32_t),
+                  "DramTiming changed: update configHash");
+    static_assert(sizeof(CacheGeometry) == 5 * sizeof(std::uint32_t),
+                  "CacheGeometry changed: update configHash");
+
+    std::uint64_t h = hashIds(cfg.numCores, cfg.maxWarpsPerCore,
+                              cfg.schedulersPerCore, cfg.simtWidth);
+    h = hashIds(h, cfg.maxIssuePerScheduler, cfg.l1HitLatency,
+                cfg.l2HitLatency);
+    h = hashIds(h, cfg.icntRequestLatency, cfg.icntResponseLatency);
+    h = hashCacheGeometry(h, cfg.l1);
+    h = hashCacheGeometry(h, cfg.l2Slice);
+    h = hashIds(h, cfg.numPartitions, cfg.banksPerChannel,
+                cfg.bankGroups);
+    h = hashIds(h, cfg.rowBytes, cfg.interleaveBytes,
+                cfg.frfcfsQueueDepth);
+    h = hashIds(h, cfg.frfcfsCapCycles, cfg.dram.tCL, cfg.dram.tRP);
+    h = hashIds(h, cfg.dram.tRCD, cfg.dram.tRAS, cfg.dram.tCCDl);
+    h = hashIds(h, cfg.dram.tCCDs, cfg.dram.tRRD,
+                cfg.dram.burstCycles);
+    h = hashIds(h, std::bit_cast<std::uint64_t>(cfg.dramClockRatio),
+                cfg.icntInputQueueDepth, cfg.icntOutputQueueDepth);
+    return hashIds(h, cfg.numApps);
 }
 
 void

@@ -31,6 +31,8 @@ struct DramTiming
      */
     std::uint32_t tRRD = 8;
     std::uint32_t burstCycles = 2; ///< Data-bus cycles per 128B burst.
+
+    bool operator==(const DramTiming &) const = default;
 };
 
 /** Cache geometry for one cache instance. */
@@ -43,6 +45,8 @@ struct CacheGeometry
     std::uint32_t mshrTargetsPerEntry = 8;
 
     std::uint32_t numSets() const { return sizeBytes / (assoc * lineBytes); }
+
+    bool operator==(const CacheGeometry &) const = default;
 };
 
 /**
@@ -133,7 +137,21 @@ struct GpuConfig
 
     /** Validate internal consistency; fatal() listing every problem. */
     void validate() const;
+
+    bool operator==(const GpuConfig &) const = default;
 };
+
+/**
+ * Deterministic hash over *every* field of @p cfg.
+ *
+ * Two configs hash equal iff they would build identical machines, so
+ * this is safe to embed in cache keys (the historical hand-picked
+ * field subset silently aliased configs that differed only in, e.g.,
+ * DRAM timings or cache associativity). Extending GpuConfig means
+ * extending this function — the adjacent static_assert on the struct
+ * size is the tripwire.
+ */
+std::uint64_t configHash(const GpuConfig &cfg);
 
 /** A per-application TLP assignment (warps per scheduler, per app). */
 using TlpCombo = std::vector<std::uint32_t>;

@@ -1,0 +1,85 @@
+#include "harness/cost_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ebm {
+
+double
+SweepCostModel::units(const TlpCombo &combo, Cycle run_cycles)
+{
+    // More ready warps = more issue slots filled, more memory traffic,
+    // fewer fast-forwardable idle stretches. The +1 keeps an all-ones
+    // combo from predicting near-zero cost.
+    std::uint64_t tlp_sum = 1;
+    for (const std::uint32_t t : combo)
+        tlp_sum += t;
+    return static_cast<double>(tlp_sum) *
+           static_cast<double>(run_cycles);
+}
+
+double
+SweepCostModel::expectedCost(const TlpCombo &combo,
+                             Cycle run_cycles) const
+{
+    const double u = units(combo, run_cycles);
+    std::lock_guard<std::mutex> lk(mu_);
+    // Per-combo observation first (most specific), then the global
+    // seconds-per-unit ratio, then the raw prior.
+    const auto it = perCombo_.find(combo);
+    if (it != perCombo_.end())
+        return it->second * u;
+    if (totalUnits_ > 0.0)
+        return (totalSeconds_ / totalUnits_) * u;
+    return u;
+}
+
+void
+SweepCostModel::observe(const TlpCombo &combo, Cycle run_cycles,
+                        double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    const double u = units(combo, run_cycles);
+    if (u <= 0.0)
+        return;
+    const double rate = seconds / u;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = perCombo_.emplace(combo, rate);
+    if (!inserted) {
+        // EWMA, alpha = 1/2: cheap, and stale machines-load history
+        // decays in a few observations.
+        it->second = 0.5 * it->second + 0.5 * rate;
+    }
+    totalSeconds_ += seconds;
+    totalUnits_ += u;
+    ++observations_;
+}
+
+std::uint64_t
+SweepCostModel::observations() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return observations_;
+}
+
+SweepCostModel &
+SweepCostModel::instance()
+{
+    static SweepCostModel model;
+    return model;
+}
+
+std::vector<std::size_t>
+costDescendingOrder(const std::vector<double> &costs)
+{
+    std::vector<std::size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&costs](std::size_t a, std::size_t b) {
+                         return costs[a] > costs[b];
+                     });
+    return order;
+}
+
+} // namespace ebm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Expected-wall-clock model for sweep rows (dispatch ordering only).
+ *
+ * A parallel sweep's wall clock ends with a barrier: the last row to
+ * finish sets the finish line. Submitting rows longest-expected-first
+ * (LPT scheduling) shrinks that straggler tail — the expensive
+ * high-TLP rows start immediately instead of landing on an almost
+ * drained pool.
+ *
+ * The model only reorders *submission*. Rows are still enumerated,
+ * cache-probed, and committed in odometer order, and each row's work
+ * is independent, so every result, file, and accounting total is
+ * bit-identical to the serial sweep no matter what this model
+ * predicts (a wrong prediction costs wall clock, never correctness).
+ *
+ * Cost prior: simulated work scales with how many warps are ready to
+ * issue, i.e. with the sum of the combo's TLP levels, times the
+ * cycles simulated. Observed per-combo wall seconds (EWMA) refine the
+ * prior as the process runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ebm {
+
+/** Process-wide sweep-row cost estimator. */
+class SweepCostModel
+{
+  public:
+    /**
+     * Expected cost of simulating @p combo for @p run_cycles cycles,
+     * in arbitrary but mutually comparable units (seconds once any
+     * observation has been folded in).
+     */
+    double expectedCost(const TlpCombo &combo, Cycle run_cycles) const;
+
+    /** Fold in an observed row wall clock (thread safe). */
+    void observe(const TlpCombo &combo, Cycle run_cycles,
+                 double seconds);
+
+    /** Observations folded in so far (diagnostics/tests). */
+    std::uint64_t observations() const;
+
+    /** The process-wide instance. */
+    static SweepCostModel &instance();
+
+  private:
+    struct ComboHash
+    {
+        std::size_t
+        operator()(const TlpCombo &combo) const
+        {
+            std::uint64_t h = mix64(combo.size());
+            for (const std::uint32_t v : combo)
+                h = hashIds(h, v);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /** Prior cost units: (1 + sum of TLP levels) * cycles. */
+    static double units(const TlpCombo &combo, Cycle run_cycles);
+
+    mutable std::mutex mu_;
+    /** EWMA of observed seconds per prior unit, per combo. */
+    std::unordered_map<TlpCombo, double, ComboHash> perCombo_;
+    double totalSeconds_ = 0.0;
+    double totalUnits_ = 0.0;
+    std::uint64_t observations_ = 0;
+};
+
+/**
+ * Submission order for @p costs (indices sorted cost-descending,
+ * ties broken by ascending index, so the order is deterministic).
+ */
+std::vector<std::size_t>
+costDescendingOrder(const std::vector<double> &costs);
+
+} // namespace ebm

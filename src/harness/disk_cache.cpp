@@ -18,6 +18,7 @@ namespace {
 
 constexpr const char *kHeaderMagic = "ebmcache";
 constexpr const char *kFormatVersion = "v2";
+constexpr std::uint32_t kDefaultShards = 16;
 
 /** Checksum over an entry's key and value bit patterns. */
 std::uint64_t
@@ -35,6 +36,31 @@ entryChecksum(const std::string &key, const std::vector<double> &values)
     for (const double v : values)
         h = hashIds(h, std::bit_cast<std::uint64_t>(v));
     return h;
+}
+
+/** FNV-1a over the key bytes (shard selection). */
+std::uint64_t
+keyHash(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint32_t
+resolveShardCount(std::uint32_t shards)
+{
+    if (shards != 0)
+        return shards;
+    if (const char *env = std::getenv("EBM_CACHE_SHARDS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 4096)
+            return static_cast<std::uint32_t>(v);
+    }
+    return kDefaultShards;
 }
 
 std::string
@@ -92,10 +118,49 @@ DiskCache::defaultPath(const std::string &file)
     return path + file;
 }
 
-DiskCache::DiskCache(std::string path, FaultInjector *injector)
-    : path_(std::move(path)), injector_(injector)
+DiskCache::DiskCache(std::string path, FaultInjector *injector,
+                     std::uint32_t shards)
+    : path_(std::move(path)), injector_(injector),
+      shards_(resolveShardCount(shards))
 {
     load();
+}
+
+DiskCache::Shard &
+DiskCache::shardOf(const std::string &key)
+{
+    return shards_[keyHash(key) % shards_.size()];
+}
+
+const DiskCache::Shard &
+DiskCache::shardOf(const std::string &key) const
+{
+    return shards_[keyHash(key) % shards_.size()];
+}
+
+DiskCache::EntryMap
+DiskCache::gatherAll() const
+{
+    // Shards are locked one at a time, in order: the snapshot is a
+    // consistent superset of every entry inserted before the caller
+    // bumped dirtyGen_, which is all the coalescing protocol needs.
+    EntryMap merged;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        merged.insert(shard.entries.begin(), shard.entries.end());
+    }
+    return merged;
+}
+
+std::size_t
+DiskCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        total += shard.entries.size();
+    }
+    return total;
 }
 
 void
@@ -134,7 +199,8 @@ DiskCache::load()
                  lines.front() + "', expected '" + kHeaderMagic + " " +
                  kFormatVersion + " " + machineFingerprint() +
                  "'; quarantining and recomputing");
-            entries_.clear();
+            for (Shard &shard : shards_)
+                shard.entries.clear();
             quarantineAndRewrite();
             return;
         }
@@ -151,7 +217,7 @@ DiskCache::load()
                 ++loadReport_.entriesSkipped;
         }
     }
-    loadReport_.entriesLoaded = entries_.size();
+    loadReport_.entriesLoaded = size();
 
     if (loadReport_.entriesSkipped > 0) {
         warn("DiskCache: skipped " +
@@ -203,9 +269,11 @@ DiskCache::parseEntryLine(const std::string &line, bool with_checksum)
     if (with_checksum && entryChecksum(key, values) != stored_sum)
         return false;
 
-    if (entries_.count(key) != 0)
+    // Constructor-only path, so no shard lock is needed yet.
+    EntryMap &entries = shardOf(key).entries;
+    if (entries.count(key) != 0)
         ++loadReport_.duplicateKeys;
-    entries_[key] = std::move(values);
+    entries[key] = std::move(values);
     return true;
 }
 
@@ -222,21 +290,21 @@ DiskCache::quarantineAndRewrite()
     }
     // Re-persist whatever survived so the next open is clean even if
     // no further put() happens.
-    if (!entries_.empty() || loadReport_.quarantined)
+    if (size() != 0 || loadReport_.quarantined)
         persistAll();
 }
 
 bool
 DiskCache::persistAll()
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(persistMu_);
     return persistOnce(lk);
 }
 
 /**
- * One persist attempt. Expects @p lk held; the file I/O itself runs
- * unlocked on a snapshot so readers and other writers are never
- * blocked behind the disk. Failure accounting happens here.
+ * One persist attempt. Expects the persist lock held; the file I/O
+ * itself runs unlocked on a gathered snapshot so readers and writers
+ * are never blocked behind the disk. Failure accounting happens here.
  */
 bool
 DiskCache::persistOnce(std::unique_lock<std::mutex> &lk)
@@ -253,8 +321,8 @@ DiskCache::persistOnce(std::unique_lock<std::mutex> &lk)
         return false;
     }
 
-    const EntryMap snapshot = entries_;
     lk.unlock();
+    const EntryMap snapshot = gatherAll();
     const bool ok = writeSnapshot(snapshot);
     lk.lock();
     if (!ok)
@@ -281,7 +349,8 @@ DiskCache::writeSnapshot(const EntryMap &snapshot)
 
         // Sorted keys: deterministic files that diff cleanly, and the
         // same bytes for a given entry set no matter what order
-        // concurrent writers inserted in.
+        // concurrent writers inserted in (or how many shards held
+        // the entries in memory).
         std::vector<const std::string *> keys;
         keys.reserve(snapshot.size());
         for (const auto &kv : snapshot)
@@ -318,10 +387,14 @@ DiskCache::writeSnapshot(const EntryMap &snapshot)
 std::optional<std::vector<double>>
 DiskCache::get(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
+    const Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
 }
 
@@ -331,16 +404,20 @@ DiskCache::getValidated(const std::string &key,
 {
     std::vector<double> values;
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        const auto it = entries_.find(key);
-        if (it == entries_.end())
+        const Shard &shard = shardOf(key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        const auto it = shard.entries.find(key);
+        if (it == shard.entries.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
+        }
         values = it->second;
     }
     if (values.size() != expected_size) {
         warn("DiskCache: entry " + key + " has " +
              std::to_string(values.size()) + " values, expected " +
              std::to_string(expected_size) + "; recomputing");
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     // A NaN/Inf written by a pre-guard version is well-shaped and
@@ -350,9 +427,11 @@ DiskCache::getValidated(const std::string &key,
         if (!std::isfinite(v)) {
             warn("DiskCache: entry " + key +
                  " holds a non-finite value; recomputing");
+            misses_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
         }
     }
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return values;
 }
 
@@ -368,9 +447,11 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
                         key});
     }
 
-    std::unique_lock<std::mutex> lk(mu_);
-    entries_[key] = values;
-    ++dirtyGen_;
+    {
+        Shard &shard = shardOf(key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.entries[key] = values;
+    }
 
     // Single-writer coalescing persist: if another thread already
     // holds the writer role it is guaranteed to loop until it has
@@ -378,7 +459,11 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
     // is in memory and a persist covering it is claimed. Otherwise
     // take the role and rewrite until clean; a burst of concurrent
     // put()s collapses into a handful of file rewrites instead of one
-    // per entry.
+    // per entry. The entry was inserted into its shard *before* this
+    // generation bump, so any persist targeting the bumped generation
+    // gathers it.
+    std::unique_lock<std::mutex> lk(persistMu_);
+    ++dirtyGen_;
     if (writerActive_)
         return;
     writerActive_ = true;

@@ -22,17 +22,21 @@
  *
  * Thread safety: all public operations may be called concurrently
  * (the harness's parallel sweeps put() from worker threads). The
- * in-memory map is mutex-guarded; persistence is single-writer and
- * coalescing — whichever thread holds the writer role keeps rewriting
- * (tmp + atomic rename, as ever) until it has covered every entry
- * inserted meanwhile, and a put() only returns once a persist
- * covering its entry has completed or been claimed by that writer.
- * Because entries are written sorted by key, the file a given entry
- * set produces is byte-identical no matter how many threads raced to
- * insert.
+ * in-memory map is *sharded* by key hash — each shard has its own
+ * mutex — so lookups and inserts from different workers almost never
+ * contend on one lock at high EBM_JOBS. Persistence is unchanged from
+ * the single-map design: single-writer and coalescing — whichever
+ * thread holds the writer role keeps rewriting (tmp + atomic rename,
+ * as ever) until it has covered every entry inserted meanwhile, and a
+ * put() only returns once a persist covering its entry has completed
+ * or been claimed by that writer. The persist snapshot gathers all
+ * shards and writes entries sorted by key, so the file a given entry
+ * set produces is byte-identical at any shard count and any thread
+ * interleaving.
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -63,9 +67,15 @@ class DiskCache
      * Open (and load) the cache at @p path; missing file is fine.
      *
      * @param injector optional fault injection (robustness tests)
+     * @param shards   in-memory shard count; 0 = EBM_CACHE_SHARDS or
+     *                 the built-in default (16). Shard count is an
+     *                 in-memory concurrency knob only — the on-disk
+     *                 format and the persisted bytes are identical at
+     *                 every setting.
      */
     explicit DiskCache(std::string path,
-                       FaultInjector *injector = nullptr);
+                       FaultInjector *injector = nullptr,
+                       std::uint32_t shards = 0);
 
     /** Look up @p key. */
     std::optional<std::vector<double>> get(const std::string &key) const;
@@ -83,14 +93,27 @@ class DiskCache
     /** Insert and persist @p key -> @p values (atomic rewrite). */
     void put(const std::string &key, const std::vector<double> &values);
 
-    std::size_t
-    size() const
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        return entries_.size();
-    }
+    std::size_t size() const;
 
     const std::string &path() const { return path_; }
+
+    /** In-memory shard count (diagnostics/tests). */
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    /** Lookups (get/getValidated) that returned a value. */
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    /** Lookups that missed (including validation rejects). */
+    std::uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
 
     /** Diagnostics from the constructor's load pass. */
     const LoadReport &loadReport() const { return loadReport_; }
@@ -99,7 +122,7 @@ class DiskCache
     std::size_t
     persistFailures() const
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<std::mutex> lk(persistMu_);
         return persistFailures_;
     }
 
@@ -117,20 +140,36 @@ class DiskCache
   private:
     using EntryMap = std::unordered_map<std::string, std::vector<double>>;
 
+    /** One lock domain of the in-memory map. */
+    struct Shard
+    {
+        mutable std::mutex mu;
+        EntryMap entries;
+    };
+
+    Shard &shardOf(const std::string &key);
+    const Shard &shardOf(const std::string &key) const;
+
     void load();
     bool parseEntryLine(const std::string &line, bool with_checksum);
     void quarantineAndRewrite();
+    /** All shards merged (for persist snapshots and the load path). */
+    EntryMap gatherAll() const;
     bool persistAll();
     bool persistOnce(std::unique_lock<std::mutex> &lk);
     bool writeSnapshot(const EntryMap &snapshot);
 
     std::string path_;
     FaultInjector *injector_;
-    EntryMap entries_;
+    std::vector<Shard> shards_;
     LoadReport loadReport_;
-    std::size_t persistFailures_ = 0;
 
-    mutable std::mutex mu_;       ///< Guards entries_ and counters.
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+
+    /** Guards the persist protocol state below (never a shard). */
+    mutable std::mutex persistMu_;
+    std::size_t persistFailures_ = 0;
     bool writerActive_ = false;   ///< A thread holds the persist role.
     std::uint64_t dirtyGen_ = 0;  ///< Bumped by every insertion.
     std::uint64_t persistedGen_ = 0; ///< Last generation persisted.

@@ -1,11 +1,13 @@
 #include "harness/exhaustive.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <sstream>
 
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
+#include "harness/cost_model.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -199,7 +201,15 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 continue;
             }
             try {
+                const auto t0 = std::chrono::steady_clock::now();
                 result = runner->runStatic(apps, combo);
+                const std::chrono::duration<double> dt =
+                    std::chrono::steady_clock::now() - t0;
+                SweepCostModel::instance().observe(
+                    combo,
+                    runner_.options().warmupCycles +
+                        runner_.options().measureCycles,
+                    dt.count());
                 done = true;
             } catch (const FatalError &e) {
                 warn("Exhaustive: run failed for " + task.key +
@@ -229,15 +239,31 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         table.results[task.row] = std::move(result);
     };
 
+    // Longest-expected-first submission (LPT): the barrier at the end
+    // of the sweep waits for the last row, so the expensive rows go
+    // out first instead of landing on a nearly drained pool. This
+    // reorders *submission only* — rows were enumerated, probed, and
+    // pre-drawn in odometer order above and are committed into
+    // pre-assigned slots, so results, files, and accounting are
+    // bit-identical whatever order the cost model picks.
+    const Cycle run_cycles = runner_.options().warmupCycles +
+                             runner_.options().measureCycles;
+    std::vector<double> costs(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        costs[i] = SweepCostModel::instance().expectedCost(
+            table.combos[tasks[i].row], run_cycles);
+    }
+    const std::vector<std::size_t> order = costDescendingOrder(costs);
+
     const std::uint32_t workers = static_cast<std::uint32_t>(
         std::min<std::size_t>(jobs(), tasks.size()));
     if (workers <= 1) {
-        for (SweepTask &task : tasks)
-            runTask(task);
+        for (const std::size_t i : order)
+            runTask(tasks[i]);
     } else {
         JobPool pool(workers);
-        for (SweepTask &task : tasks)
-            pool.submit([&runTask, &task] { runTask(task); });
+        for (const std::size_t i : order)
+            pool.submit([&runTask, &task = tasks[i]] { runTask(task); });
         pool.wait();
     }
 

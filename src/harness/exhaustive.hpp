@@ -123,10 +123,12 @@ class Exhaustive
      * Simulate (or fetch) the full combination table for @p wl.
      *
      * Combinations are independent simulations, so cache misses are
-     * dispatched onto a JobPool of jobs() workers; results are
-     * committed into pre-assigned rows (odometer order), making the
-     * table — and, because entries persist sorted, the cache file —
-     * bit-identical to a serial sweep at any job count.
+     * dispatched onto a JobPool of jobs() workers, submitted
+     * longest-expected-first (SweepCostModel) to shrink the straggler
+     * tail at the end-of-sweep barrier; results are committed into
+     * pre-assigned rows (odometer order), making the table — and,
+     * because entries persist sorted, the cache file — bit-identical
+     * to a serial sweep at any job count and any submission order.
      *
      * Every completed combination is persisted to the disk cache
      * as it finishes, so a killed or crashed sweep resumes from the

@@ -1,9 +1,11 @@
 #include "harness/profile_db.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
+#include "harness/cost_model.hpp"
 
 namespace ebm {
 
@@ -55,23 +57,51 @@ ProfileDb::profile(const AppProfile &app)
     // into pre-assigned slots, so the profile is identical at any job
     // count. An armed fault injector keeps the pass serial: its query
     // order is part of the documented fault schedule.
+    const Cycle run_cycles = runner_.options().warmupCycles +
+                             runner_.options().measureCycles;
     auto runLevel = [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = runner_.runAlone(app, prof.levels[i]);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        SweepCostModel::instance().observe({prof.levels[i]},
+                                           run_cycles, dt.count());
         const AppRunStats stats = r.apps.at(0);
         cache_.put(keys[i],
                    {stats.ipc, stats.bw, stats.l1Mr, stats.l2Mr});
         prof.perLevel[i] = stats;
     };
+
+    // Longest-expected-first submission, exactly like
+    // Exhaustive::sweep: slots were pre-assigned in level order above,
+    // so the profile (and the cache file) is order-independent. An
+    // armed fault injector pins the historical level order instead —
+    // its query sequence is part of the documented fault schedule and
+    // must not depend on cost predictions.
+    std::vector<std::size_t> order;
+    if (runner_.options().faultInjector != nullptr) {
+        order.resize(misses.size());
+        for (std::size_t m = 0; m < misses.size(); ++m)
+            order[m] = m;
+    } else {
+        std::vector<double> costs(misses.size());
+        for (std::size_t m = 0; m < misses.size(); ++m) {
+            costs[m] = SweepCostModel::instance().expectedCost(
+                {prof.levels[misses[m]]}, run_cycles);
+        }
+        order = costDescendingOrder(costs);
+    }
+
     const std::size_t workers = std::min<std::size_t>(
         runner_.options().faultInjector != nullptr ? 1 : jobs(),
         misses.size());
     if (workers <= 1) {
-        for (const std::size_t i : misses)
-            runLevel(i);
+        for (const std::size_t m : order)
+            runLevel(misses[m]);
     } else {
         JobPool pool(static_cast<unsigned>(workers));
-        for (const std::size_t i : misses)
-            pool.submit([&runLevel, i] { runLevel(i); });
+        for (const std::size_t m : order)
+            pool.submit([&runLevel, i = misses[m]] { runLevel(i); });
         pool.wait();
     }
 

@@ -5,7 +5,9 @@
 #include "common/fault_injector.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "harness/gpu_pool.hpp"
 #include "sim/gpu.hpp"
+#include "workload/app_catalog.hpp"
 
 namespace ebm {
 
@@ -112,16 +114,25 @@ RunResult
 Runner::run(const std::vector<AppProfile> &apps, TlpPolicy &policy,
             std::vector<std::uint32_t> core_share) const
 {
-    // Injected run failure (robustness tests): the run dies before
-    // producing any result, as a crashed/killed simulation would.
+    GpuConfig cfg = cfg_;
+    cfg.numApps = static_cast<std::uint32_t>(apps.size());
+    // Lease the machine from this worker's pool: a repeat of the same
+    // (config, apps, core share) reuses a reset instance instead of
+    // reconstructing one. If this run throws, the lease destructor
+    // sees the unwinding and discards the instance (poisoning).
+    GpuPool::Lease lease = GpuPool::threadLocal().acquire(
+        cfg, apps, std::move(core_share));
+    Gpu &gpu = lease.gpu();
+
+    // Injected run failure (robustness tests): the run dies without
+    // producing a result, as a crashed/killed simulation would. It
+    // fires with the machine leased, so the unwinding also exercises
+    // the pool's poisoning path — exactly what a genuine mid-run
+    // crash would do.
     if (opts_.faultInjector != nullptr &&
         opts_.faultInjector->shouldFire(FaultInjector::Point::RunFail)) {
         fatal(Error{Errc::RunFailed, "Runner: injected run failure"});
     }
-
-    GpuConfig cfg = cfg_;
-    cfg.numApps = static_cast<std::uint32_t>(apps.size());
-    Gpu gpu(cfg, apps, std::move(core_share));
 
     EbMonitor monitor(gpu, EbMonitor::Mode::DesignatedUnits,
                       /*relay_latency=*/100, opts_.faultInjector);
@@ -191,18 +202,22 @@ Runner::runAlone(const AppProfile &app, std::uint32_t tlp) const
 std::string
 Runner::fingerprint() const
 {
-    std::uint64_t h = hashIds(cfg_.numCores, cfg_.numPartitions,
-                              cfg_.maxWarpsPerCore, cfg_.l1.sizeBytes);
-    h = hashIds(h, cfg_.l2Slice.sizeBytes, cfg_.banksPerChannel,
-                cfg_.frfcfsQueueDepth);
-    h = hashIds(h, cfg_.dram.burstCycles, cfg_.dram.tRRD,
-                cfg_.frfcfsCapCycles);
-    h = hashIds(h, cfg_.rowBytes, cfg_.interleaveBytes,
-                cfg_.l1.mshrEntries);
+    // Bumped whenever the fingerprint's inputs or mixing change, so
+    // entries cached under an older scheme are recomputed instead of
+    // aliased. v2: switched from a hand-picked field subset (which
+    // silently excluded DRAM timings, cache associativity/line size,
+    // latencies, and more — two different machines could share a
+    // cache key) to configHash over every GpuConfig field plus every
+    // RunOptions field.
+    constexpr std::uint64_t kFingerprintVersion = 2;
+
+    std::uint64_t h = configHash(cfg_);
     h = hashIds(h, opts_.warmupCycles, opts_.measureCycles,
                 opts_.windowCycles);
-    h = hashIds(h, cfg_.numApps, opts_.relaunchInterval,
-                /*catalog version*/ 5);
+    // The fault injector is deliberately excluded: it perturbs
+    // robustness-test schedules, not measured results.
+    h = hashIds(h, opts_.relaunchInterval, kAppCatalogVersion,
+                kFingerprintVersion);
     std::ostringstream out;
     out << std::hex << h;
     return out.str();

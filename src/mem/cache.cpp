@@ -56,6 +56,7 @@ Cache::fill(Addr line_addr, AppId app, bool bypass)
 void
 Cache::fill(Addr line_addr, AppId app, bool bypass, FillResult &out)
 {
+    ++gen_; // A fill is the only event that can un-stall a requester.
     out.waiters.clear();
     out.evictedValid = false;
     out.evictedLine = 0;
@@ -72,6 +73,7 @@ Cache::fill(Addr line_addr, AppId app, bool bypass, FillResult &out)
 void
 Cache::reset()
 {
+    ++gen_; // Clearing the MSHRs un-stalls everything.
     tags_.flush();
     mshrs_.clear();
     stats_.reset();

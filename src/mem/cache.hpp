@@ -78,6 +78,24 @@ class Cache
     /** True if the line has an in-flight MSHR entry. */
     bool missInFlight(Addr line_addr) const { return mshrs_.inFlight(line_addr); }
 
+    /**
+     * Monotone counter that advances whenever an event occurs that
+     * could turn a Stall outcome into a non-Stall one: a fill (frees
+     * MSHR capacity and waiter-chain slots, inserts the line into the
+     * tags) or a reset. A requester that observed Stall at generation
+     * G can skip its retries for as long as generation() == G — the
+     * retry is side-effect-free and provably produces Stall again.
+     */
+    std::uint64_t generation() const { return gen_; }
+
+    /**
+     * Force a generation bump. The owner calls this when it changes
+     * something *outside* the cache that alters the access path of a
+     * stalled request (e.g. the core's L1-bypass knob, which decides
+     * whether the tags are probed at all).
+     */
+    void bumpGeneration() { ++gen_; }
+
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
     const TagArray &tags() const { return tags_; }
@@ -90,6 +108,7 @@ class Cache
     TagArray tags_;
     MshrFile mshrs_;
     CacheStats stats_;
+    std::uint64_t gen_ = 0; ///< See generation().
 };
 
 } // namespace ebm

@@ -152,6 +152,16 @@ class Gpu
      */
     void reset(bool flush_caches = true);
 
+    /**
+     * Return every runtime knob — per-app TLP limits, L1/L2 bypass
+     * flags, L2 way partitions — to its construction default.
+     * reset() deliberately preserves knobs (a policy's settings
+     * survive a measurement restart); the GpuPool reuse path calls
+     * this *plus* reset(true) so a recycled instance is
+     * indistinguishable from a freshly constructed one.
+     */
+    void restoreKnobDefaults();
+
   private:
     /**
      * Earliest cycle after now_ at which any component can change

@@ -83,6 +83,15 @@ SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
         return true;
     }
 
+    // A load that stalled on an MSHR structural hazard stays stalled
+    // until the next L1 fill (or reset / bypass-knob flip), all of
+    // which bump the cache generation. The retry attempt is entirely
+    // side-effect-free, so skipping it here returns false exactly as
+    // the replayed Stall would — without the per-cycle line-address
+    // hash and double MSHR probe that dominate congested sweeps.
+    if (instr.isLoad && w.stallGen == l1_.generation())
+        return false;
+
     // Memory instructions issue one cache-line transaction per cycle
     // (an uncoalesced load therefore occupies the scheduler for
     // numLines cycles).
@@ -145,7 +154,10 @@ SimtCore::issueFrom(WarpId warp, Cycle now, Crossbar &xbar)
         ++w.outstandingOffchip;
         break; // Will wake when the in-flight fill returns.
       case CacheOutcome::Stall:
-        return false; // MSHR structural hazard; retry next cycle.
+        // MSHR structural hazard; the warp re-arms when the L1
+        // generation moves (see the skip above).
+        w.stallGen = l1_.generation();
+        return false;
     }
 
     ++w.outstanding;

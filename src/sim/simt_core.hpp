@@ -75,7 +75,14 @@ class SimtCore
     std::uint32_t tlpLimit() const { return schedulers_[0].tlpLimit(); }
 
     /** Enable/disable L1 bypass for this core (Mod+Bypass). */
-    void setL1Bypass(bool bypass) { bypassL1_ = bypass; }
+    void setL1Bypass(bool bypass)
+    {
+        // The knob changes whether a stalled load would probe the
+        // tags on retry, so stalled warps must re-attempt.
+        if (bypass != bypassL1_)
+            l1_.bumpGeneration();
+        bypassL1_ = bypass;
+    }
     bool l1Bypass() const { return bypassL1_; }
 
     /** Enable/disable L2 bypass for this core's requests. */

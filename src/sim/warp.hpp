@@ -25,6 +25,18 @@ struct WarpState
     std::uint64_t streamPos = 0;   ///< Stream-category access counter.
     std::uint64_t instrsRetired = 0;
 
+    /** Sentinel for stallGen: this warp is not known to be stalled. */
+    static constexpr std::uint64_t kNoStall = ~std::uint64_t{0};
+    /**
+     * L1 generation (Cache::generation()) at which this warp's load
+     * last hit an MSHR structural hazard. While the L1 still reports
+     * that generation a retry is provably another Stall, so the issue
+     * stage skips the attempt without recomputing the line address or
+     * re-probing the cache. Generations are monotone, so a stale value
+     * can never match again after the warp advances.
+     */
+    std::uint64_t stallGen = kNoStall;
+
     /** Reset every cursor for a fresh run, including streamPos: a
      *  relaunched kernel replays the identical access stream. */
     void
@@ -36,6 +48,7 @@ struct WarpState
         outstandingOffchip = 0;
         streamPos = 0;
         instrsRetired = 0;
+        stallGen = kNoStall;
     }
 };
 

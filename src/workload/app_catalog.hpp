@@ -19,6 +19,13 @@
 
 namespace ebm {
 
+/**
+ * Catalog version, embedded in every disk-cache fingerprint. Bump it
+ * whenever a catalogued profile changes so cached results computed
+ * against the old catalog are recomputed instead of silently reused.
+ */
+inline constexpr std::uint64_t kAppCatalogVersion = 5;
+
 /** Retrieve one application profile by its paper abbreviation. */
 const AppProfile &findApp(const std::string &name);
 

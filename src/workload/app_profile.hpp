@@ -77,6 +77,8 @@ struct AppProfile
     {
         return 1.0 - fracL1Reuse - fracL2Reuse - fracRandom;
     }
+
+    bool operator==(const AppProfile &) const = default;
 };
 
 } // namespace ebm

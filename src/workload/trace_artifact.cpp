@@ -1,0 +1,129 @@
+#include "workload/trace_artifact.hpp"
+
+#include <mutex>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** Process-wide artifact registry (a handful of catalog entries). */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<const TraceArtifact>> artifacts;
+};
+
+Registry &
+registry()
+{
+    static Registry reg;
+    return reg;
+}
+
+} // namespace
+
+std::shared_ptr<const TraceArtifact>
+TraceArtifact::obtain(const AppProfile &profile,
+                      std::uint32_t line_bytes)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    // Linear scan with full equality: the registry holds tens of
+    // entries (the catalog), and an exact compare can never alias two
+    // profiles the way a hash-only key could.
+    for (const auto &art : reg.artifacts) {
+        if (art->lineBytes_ == line_bytes && art->profile_ == profile)
+            return art;
+    }
+    std::shared_ptr<const TraceArtifact> art(
+        new TraceArtifact(profile, line_bytes));
+    reg.artifacts.push_back(art);
+    return art;
+}
+
+std::size_t
+TraceArtifact::registrySize()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    return reg.artifacts.size();
+}
+
+TraceArtifact::TraceArtifact(const AppProfile &profile,
+                             std::uint32_t line_bytes)
+    : profile_(profile), lineBytes_(line_bytes)
+{
+    // Validation lives here (not in TraceGen) so an invalid profile
+    // fails before it can enter the shared registry. Messages keep
+    // the historical "TraceGen:" prefix.
+    if (profile.mlpBurst == 0)
+        fatal("TraceGen: mlpBurst must be >= 1");
+    if (profile.fracStream() < -1e-9)
+        fatal("TraceGen: access-category fractions exceed 1 for " +
+              profile.name);
+    loopLen_ = profile.mlpBurst + 1 + profile.computeRun +
+               profile.storesPerLoop;
+
+    decode_.resize(kDecodeEntries);
+    for (std::size_t i = 0; i < decode_.size(); ++i)
+        decode_[i] = decodeAt(i);
+
+    streamOrigin_.resize(kOriginEntries);
+    storeOrigin_.resize(kOriginEntries);
+    for (std::size_t g = 0; g < kOriginEntries; ++g) {
+        streamOrigin_[g] = computeStreamOrigin(g);
+        storeOrigin_[g] = computeStoreOrigin(g);
+    }
+}
+
+InstrDesc
+TraceArtifact::decodeAt(std::uint64_t idx) const
+{
+    const std::uint64_t pos = idx % loopLen_;
+    InstrDesc instr;
+    if (pos < profile_.mlpBurst) {
+        instr.isLoad = true;
+        // Category is a deterministic draw keyed by (app seed, idx).
+        const double u = hashToUnit(hashIds(profile_.seed, idx, 0x10ad));
+        if (u < profile_.fracL1Reuse) {
+            instr.category = AccessCategory::L1Reuse;
+        } else if (u < profile_.fracL1Reuse + profile_.fracL2Reuse) {
+            instr.category = AccessCategory::L2Reuse;
+        } else if (u < profile_.fracL1Reuse + profile_.fracL2Reuse +
+                           profile_.fracRandom) {
+            instr.category = AccessCategory::Random;
+            instr.numLines = profile_.randomLinesPerAccess;
+        } else {
+            instr.category = AccessCategory::Stream;
+        }
+        return instr;
+    }
+    if (pos == profile_.mlpBurst) {
+        // The consumer of the preceding load burst.
+        instr.waitsForMem = true;
+        return instr;
+    }
+    if (pos >= static_cast<std::uint64_t>(profile_.mlpBurst) + 1 +
+                   profile_.computeRun) {
+        // Trailing write-through stores of the loop's results.
+        instr.isStore = true;
+    }
+    return instr;
+}
+
+std::uint64_t
+TraceArtifact::computeStreamOrigin(std::uint64_t gwarp) const
+{
+    return hashIds(profile_.seed, gwarp, 0x57f);
+}
+
+std::uint64_t
+TraceArtifact::computeStoreOrigin(std::uint64_t gwarp) const
+{
+    return hashIds(profile_.seed, gwarp, 0x3702);
+}
+
+} // namespace ebm

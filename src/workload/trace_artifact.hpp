@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Immutable, process-wide shared per-application trace state.
+ *
+ * Everything a TraceGen derives from its profile alone — the loop
+ * length, the decoded instruction table, and the per-warp address
+ * origin hashes — is a pure function of (AppProfile, line size). A
+ * sweep constructs thousands of Gpus over the same handful of apps, so
+ * rebuilding that state per run (or rehashing it per memory access) is
+ * pure redundancy. A TraceArtifact is built once per distinct
+ * (profile, line size) pair per process, held const behind a
+ * shared_ptr, and shared by every TraceGen across all pooled Gpus and
+ * worker threads.
+ *
+ * The tables are *accelerators*, never the definition: instrAt and the
+ * origin hashes are still computed from first principles past the
+ * table bounds, so results are bit-identical to the table-free code
+ * for any index (the golden-digest tests pin this).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/app_profile.hpp"
+
+namespace ebm {
+
+/** One decoded warp instruction. */
+struct InstrDesc
+{
+    bool isLoad = false;
+    /** Write-through store (fire-and-forget; no warp waits on it). */
+    bool isStore = false;
+    /** Must all pending loads of this warp complete before issue? */
+    bool waitsForMem = false;
+    /** Distinct cache lines touched (loads only). */
+    std::uint32_t numLines = 1;
+    AccessCategory category = AccessCategory::Stream;
+};
+
+/** Shared immutable derived state for one (profile, line size). */
+class TraceArtifact
+{
+  public:
+    /**
+     * Fetch (or build) the artifact for @p profile at @p line_bytes
+     * from the process-wide registry. Thread safe; validates the
+     * profile (fatal on an impossible instruction mix) exactly as the
+     * historical TraceGen constructor did.
+     */
+    static std::shared_ptr<const TraceArtifact>
+    obtain(const AppProfile &profile, std::uint32_t line_bytes);
+
+    /** Entries in the process-wide registry (diagnostics/tests). */
+    static std::size_t registrySize();
+
+    const AppProfile &profile() const { return profile_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Length of one iteration of the warp program. */
+    std::uint32_t loopLength() const { return loopLen_; }
+
+    /** Decode the instruction at @p idx (table hit or recompute). */
+    InstrDesc
+    instrAt(std::uint64_t idx) const
+    {
+        if (idx < decode_.size())
+            return decode_[idx];
+        return decodeAt(idx);
+    }
+
+    /** Per-warp stream-origin hash (table hit or recompute). */
+    std::uint64_t
+    streamOrigin(std::uint64_t gwarp) const
+    {
+        if (gwarp < streamOrigin_.size())
+            return streamOrigin_[gwarp];
+        return computeStreamOrigin(gwarp);
+    }
+
+    /** Per-warp store-origin hash (table hit or recompute). */
+    std::uint64_t
+    storeOrigin(std::uint64_t gwarp) const
+    {
+        if (gwarp < storeOrigin_.size())
+            return storeOrigin_[gwarp];
+        return computeStoreOrigin(gwarp);
+    }
+
+    /** First-principles decode (the pre-table TraceGen::instrAt). */
+    InstrDesc decodeAt(std::uint64_t idx) const;
+
+  private:
+    TraceArtifact(const AppProfile &profile, std::uint32_t line_bytes);
+
+    std::uint64_t computeStreamOrigin(std::uint64_t gwarp) const;
+    std::uint64_t computeStoreOrigin(std::uint64_t gwarp) const;
+
+    AppProfile profile_;
+    std::uint32_t lineBytes_;
+    std::uint32_t loopLen_;
+
+    /**
+     * Decoded instructions for idx < kDecodeEntries. The category of
+     * a load is a draw keyed by the *full* index (not idx mod loop),
+     * so the table cannot simply hold one loop iteration; it covers
+     * the index prefix every short-window run actually touches, with
+     * the exact recompute as fallback.
+     */
+    std::vector<InstrDesc> decode_;
+    std::vector<std::uint64_t> streamOrigin_; ///< gwarp-indexed.
+    std::vector<std::uint64_t> storeOrigin_;  ///< gwarp-indexed.
+
+    static constexpr std::size_t kDecodeEntries = 1 << 14;
+    static constexpr std::size_t kOriginEntries = 1 << 11;
+};
+
+} // namespace ebm

@@ -1,56 +1,14 @@
 #include "workload/trace_gen.hpp"
 
-#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace ebm {
 
 TraceGen::TraceGen(const AppProfile &profile, std::uint32_t line_bytes,
                    Addr base)
-    : profile_(profile), lineBytes_(line_bytes), base_(base)
+    : art_(TraceArtifact::obtain(profile, line_bytes)),
+      lineBytes_(line_bytes), base_(base)
 {
-    if (profile.mlpBurst == 0)
-        fatal("TraceGen: mlpBurst must be >= 1");
-    if (profile.fracStream() < -1e-9)
-        fatal("TraceGen: access-category fractions exceed 1 for " +
-              profile.name);
-    loopLen_ = profile.mlpBurst + 1 + profile.computeRun +
-               profile.storesPerLoop;
-}
-
-InstrDesc
-TraceGen::instrAt(std::uint64_t idx) const
-{
-    const std::uint64_t pos = idx % loopLen_;
-    InstrDesc instr;
-    if (pos < profile_.mlpBurst) {
-        instr.isLoad = true;
-        // Category is a deterministic draw keyed by (app seed, idx).
-        const double u = hashToUnit(hashIds(profile_.seed, idx, 0x10ad));
-        if (u < profile_.fracL1Reuse) {
-            instr.category = AccessCategory::L1Reuse;
-        } else if (u < profile_.fracL1Reuse + profile_.fracL2Reuse) {
-            instr.category = AccessCategory::L2Reuse;
-        } else if (u < profile_.fracL1Reuse + profile_.fracL2Reuse +
-                           profile_.fracRandom) {
-            instr.category = AccessCategory::Random;
-            instr.numLines = profile_.randomLinesPerAccess;
-        } else {
-            instr.category = AccessCategory::Stream;
-        }
-        return instr;
-    }
-    if (pos == profile_.mlpBurst) {
-        // The consumer of the preceding load burst.
-        instr.waitsForMem = true;
-        return instr;
-    }
-    if (pos >= static_cast<std::uint64_t>(profile_.mlpBurst) + 1 +
-                   profile_.computeRun) {
-        // Trailing write-through stores of the loop's results.
-        instr.isStore = true;
-    }
-    return instr;
 }
 
 Addr
@@ -58,23 +16,23 @@ TraceGen::lineAddr(std::uint64_t gwarp, std::uint64_t idx,
                    std::uint32_t line_idx, std::uint64_t stream_pos,
                    const InstrDesc &instr) const
 {
-    const std::uint64_t h =
-        hashIds(profile_.seed, gwarp, idx, line_idx);
+    const AppProfile &profile = art_->profile();
+    const std::uint64_t h = hashIds(profile.seed, gwarp, idx, line_idx);
     Addr offset = 0;
 
     if (instr.isStore) {
         // Stores stream the loop's results into a per-warp output
         // region; the address is a pure function of the loop
         // iteration so no warp state is needed.
-        const std::uint64_t iter = idx / loopLen_;
+        const std::uint32_t loop_len = art_->loopLength();
+        const std::uint64_t iter = idx / loop_len;
         const std::uint64_t pos_in_stores =
-            idx % loopLen_ -
-            (profile_.mlpBurst + 1 + profile_.computeRun);
-        const std::uint64_t origin =
-            hashIds(profile_.seed, gwarp, 0x3702);
+            idx % loop_len -
+            (profile.mlpBurst + 1 + profile.computeRun);
+        const std::uint64_t origin = art_->storeOrigin(gwarp);
         const std::uint64_t line =
-            (origin + iter * profile_.storesPerLoop + pos_in_stores) %
-            profile_.streamRegionLines;
+            (origin + iter * profile.storesPerLoop + pos_in_stores) %
+            profile.streamRegionLines;
         return base_ + kWriteBase + gwarp * kStreamStride +
                line * lineBytes_;
     }
@@ -85,24 +43,23 @@ TraceGen::lineAddr(std::uint64_t gwarp, std::uint64_t idx,
         // every warp's working set onto the same few sets.
         offset = kPrivateBase + gwarp * kPrivateStride +
                  (gwarp * 7 % 256) * lineBytes_ +
-                 (h % profile_.l1ReuseLines) * lineBytes_;
+                 (h % profile.l1ReuseLines) * lineBytes_;
         break;
       case AccessCategory::L2Reuse:
-        offset = kSharedBase + (h % profile_.l2ReuseLines) * lineBytes_;
+        offset = kSharedBase + (h % profile.l2ReuseLines) * lineBytes_;
         break;
       case AccessCategory::Random:
         offset = kRandomBase +
-                 (h % profile_.randomRegionLines) * lineBytes_;
+                 (h % profile.randomRegionLines) * lineBytes_;
         break;
       case AccessCategory::Stream: {
         // Each warp streams from its own hashed origin: real kernels
         // assign different data blocks to different warps, and the
         // stagger keeps concurrent streams from sweeping the memory
         // partitions in phase-locked waves.
-        const std::uint64_t origin =
-            hashIds(profile_.seed, gwarp, 0x57f);
+        const std::uint64_t origin = art_->streamOrigin(gwarp);
         offset = kStreamBase + gwarp * kStreamStride +
-                 ((origin + stream_pos) % profile_.streamRegionLines) *
+                 ((origin + stream_pos) % profile.streamRegionLines) *
                      lineBytes_;
         break;
       }

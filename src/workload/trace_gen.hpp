@@ -7,28 +7,23 @@
  * the *addresses* additionally depend on the warp's global id and the
  * instruction index, via hash functions, so no trace storage is
  * needed and results are bit-reproducible.
+ *
+ * All profile-derived state (loop length, decode table, per-warp
+ * origin hashes) lives in a process-wide shared TraceArtifact; a
+ * TraceGen is just that artifact plus this instance's address-space
+ * base, so constructing one for the thousandth sweep row costs a
+ * registry lookup, not a rebuild.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/types.hpp"
 #include "workload/app_profile.hpp"
+#include "workload/trace_artifact.hpp"
 
 namespace ebm {
-
-/** One decoded warp instruction. */
-struct InstrDesc
-{
-    bool isLoad = false;
-    /** Write-through store (fire-and-forget; no warp waits on it). */
-    bool isStore = false;
-    /** Must all pending loads of this warp complete before issue? */
-    bool waitsForMem = false;
-    /** Distinct cache lines touched (loads only). */
-    std::uint32_t numLines = 1;
-    AccessCategory category = AccessCategory::Stream;
-};
 
 /** Address + instruction generator bound to one application profile. */
 class TraceGen
@@ -46,10 +41,13 @@ class TraceGen
              Addr base = 0);
 
     /** Length of one iteration of the warp program. */
-    std::uint32_t loopLength() const { return loopLen_; }
+    std::uint32_t loopLength() const { return art_->loopLength(); }
 
     /** Decode the instruction at @p idx (taken modulo the loop). */
-    InstrDesc instrAt(std::uint64_t idx) const;
+    InstrDesc instrAt(std::uint64_t idx) const
+    {
+        return art_->instrAt(idx);
+    }
 
     /**
      * Line-aligned address of micro-transaction @p line_idx of the
@@ -78,13 +76,18 @@ class TraceGen
                   std::uint32_t line_idx, std::uint64_t stream_pos,
                   const InstrDesc &instr) const;
 
-    const AppProfile &profile() const { return profile_; }
+    const AppProfile &profile() const { return art_->profile(); }
+
+    /** The shared artifact backing this generator. */
+    const std::shared_ptr<const TraceArtifact> &artifact() const
+    {
+        return art_;
+    }
 
   private:
-    AppProfile profile_;
+    std::shared_ptr<const TraceArtifact> art_;
     std::uint32_t lineBytes_;
     Addr base_;
-    std::uint32_t loopLen_;
 
     // Address-space layout (byte offsets inside the app's space).
     static constexpr Addr kPrivateBase = 0;

@@ -341,5 +341,101 @@ TEST_F(ParallelSweepTest, DiskCacheConcurrentPutGetHammer)
     }
 }
 
+/**
+ * Sharding is an in-memory concurrency knob only: the same hammer —
+ * 8 threads over 160 keys, each thread probing cold (miss), inserting,
+ * and reading back (hit) — must leave a byte-identical persisted file
+ * and identical hit/miss accounting at every shard count, including
+ * the degenerate single-shard configuration.
+ */
+TEST_F(ParallelSweepTest, ShardCountNeverChangesBytesOrAccounting)
+{
+    constexpr std::size_t kKeys = 160;
+    constexpr unsigned kThreads = 8;
+    auto keyOf = [](std::size_t i) {
+        return "shard/key" + std::to_string(i);
+    };
+
+    struct Outcome
+    {
+        std::string bytes;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t size = 0;
+    };
+
+    auto hammer = [&](std::uint32_t shards) {
+        const std::string path =
+            serial_path_ + "." + std::to_string(shards);
+        std::remove(path.c_str());
+        Outcome out;
+        {
+            DiskCache cache(path, nullptr, shards);
+            EXPECT_EQ(cache.shardCount(), shards);
+            JobPool pool(kThreads);
+            for (std::size_t i = 0; i < kKeys; ++i) {
+                // Each worker touches only its own key, so the
+                // hit/miss tally is exact at any interleaving: one
+                // cold miss, one post-insert hit per key.
+                pool.submit([&cache, &keyOf, i] {
+                    EXPECT_FALSE(cache.get(keyOf(i)).has_value());
+                    cache.put(keyOf(i),
+                              {static_cast<double>(i),
+                               static_cast<double>(i) * 0.25, 7.0});
+                    const auto v = cache.getValidated(keyOf(i), 3);
+                    ASSERT_TRUE(v.has_value());
+                    EXPECT_EQ((*v)[0], static_cast<double>(i));
+                });
+            }
+            pool.wait();
+            // Validation rejects count as misses, in every shard.
+            EXPECT_FALSE(
+                cache.getValidated(keyOf(0), 99).has_value());
+            out.hits = cache.hits();
+            out.misses = cache.misses();
+            out.size = cache.size();
+            EXPECT_EQ(cache.persistFailures(), 0u);
+        }
+        out.bytes = slurp(path);
+        std::remove(path.c_str());
+        return out;
+    };
+
+    const Outcome single = hammer(1);
+    EXPECT_EQ(single.size, kKeys);
+    EXPECT_EQ(single.hits, kKeys);
+    EXPECT_EQ(single.misses, kKeys + 1);
+    ASSERT_FALSE(single.bytes.empty());
+
+    for (const std::uint32_t shards : {4u, 16u, 64u}) {
+        const Outcome sharded = hammer(shards);
+        EXPECT_EQ(sharded.bytes, single.bytes)
+            << shards << " shards must persist the single-shard bytes";
+        EXPECT_EQ(sharded.hits, single.hits) << shards;
+        EXPECT_EQ(sharded.misses, single.misses) << shards;
+        EXPECT_EQ(sharded.size, single.size) << shards;
+    }
+}
+
+/** A sharded cache reloads a file persisted by a single-shard one
+ * (and vice versa): shard count is invisible on disk. */
+TEST_F(ParallelSweepTest, ShardCountIsInvisibleAcrossReloads)
+{
+    {
+        DiskCache cache(serial_path_, nullptr, 1);
+        cache.put("a/b", {1.0, 2.0});
+        cache.put("c/d", {3.0});
+    }
+    DiskCache wide(serial_path_, nullptr, 32);
+    EXPECT_EQ(wide.loadReport().entriesLoaded, 2u);
+    const auto v = wide.getValidated("a/b", 2);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ((*v)[1], 2.0);
+
+    DiskCache narrow(serial_path_, nullptr, 1);
+    EXPECT_EQ(narrow.loadReport().entriesLoaded, 2u);
+    EXPECT_TRUE(narrow.get("c/d").has_value());
+}
+
 } // namespace
 } // namespace ebm
