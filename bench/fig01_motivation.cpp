@@ -61,6 +61,7 @@ run()
                 "++maxTLP at or below it.\n");
     std::printf("\n%s\n",
                 exp.exhaustive().status().summaryLine().c_str());
+    std::printf("%s\n", exp.cache().persistSummaryLine().c_str());
     return 0;
 }
 

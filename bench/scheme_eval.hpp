@@ -198,6 +198,7 @@ runComparison(Experiment &exp, Report report, const std::string &title)
     std::printf("\n%s [jobs=%u]\n",
                 exp.exhaustive().status().summaryLine().c_str(),
                 exp.jobs());
+    std::printf("%s\n", exp.cache().persistSummaryLine().c_str());
 }
 
 } // namespace ebm::bench

@@ -1,12 +1,42 @@
 #include "common/config.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cctype>
+#include <cstdlib>
 #include <string>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace ebm {
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
+        std::uint64_t max)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || (end != nullptr && *end != '\0'))
+        return fallback;
+    return std::clamp<std::uint64_t>(v, min, max);
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    std::string v(env);
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return v != "0" && v != "false" && v != "off" && v != "no";
+}
 
 const std::vector<std::uint32_t> &
 GpuConfig::tlpLevels()

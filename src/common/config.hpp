@@ -142,6 +142,22 @@ struct GpuConfig
 };
 
 /**
+ * Parse environment variable @p name as an unsigned integer clamped
+ * to [@p min, @p max]; @p fallback when unset, empty, or garbage.
+ * The shared parser behind every EBM_* numeric knob (EBM_CACHE_SHARDS,
+ * EBM_CLAIM_STALE_MS, ...), so they all reject nonsense the same way.
+ */
+std::uint64_t envUint(const char *name, std::uint64_t fallback,
+                      std::uint64_t min, std::uint64_t max);
+
+/**
+ * Parse environment variable @p name as a boolean flag: "0", "false",
+ * "off", and "no" (case-insensitive) are false, any other non-empty
+ * value is true, unset/empty is @p fallback.
+ */
+bool envFlag(const char *name, bool fallback);
+
+/**
  * Deterministic hash over *every* field of @p cfg.
  *
  * Two configs hash equal iff they would build identical machines, so

@@ -1,23 +1,56 @@
 #include "harness/disk_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "workload/app_catalog.hpp"
 
 namespace ebm {
 
 namespace {
 
-constexpr const char *kHeaderMagic = "ebmcache";
-constexpr const char *kFormatVersion = "v2";
+// --- v3 binary layout -----------------------------------------------
+//
+//   header (64 bytes):
+//     [ 0..7 ]  magic "EBMCBIN3"
+//     [ 8..11]  u32 format version (3)
+//     [12..15]  u32 app-catalog version at write time
+//     [16..55]  machine float-ABI fingerprint, NUL-padded
+//     [56..63]  reserved (zero)
+//   frame:
+//     u32 frame magic | u32 keyLen | u32 valueCount |
+//     keyLen key bytes | valueCount raw doubles | u64 checksum
+//
+// Integers and doubles are host-endian: the header fingerprint pins
+// the byte order (and double width), so a foreign-endian file is
+// quarantined before any frame is interpreted.
+constexpr char kMagicV3[8] = {'E', 'B', 'M', 'C', 'B', 'I', 'N', '3'};
+constexpr std::uint32_t kFormatVersionV3 = 3;
+constexpr std::uint64_t kHeaderSize = 64;
+constexpr std::size_t kFingerprintBytes = 40;
+constexpr std::uint32_t kFrameMagic = 0x33464245u; // "EBF3", LE bytes.
+constexpr std::size_t kFrameHeadBytes = 12;
+constexpr std::size_t kFrameTailBytes = 8;
+// Sanity bounds a valid frame header can never exceed; anything
+// larger is corruption, not data.
+constexpr std::uint32_t kMaxKeyBytes = 1u << 16;
+constexpr std::uint32_t kMaxValueCount = 1u << 20;
+
 constexpr std::uint32_t kDefaultShards = 16;
 
 /** Checksum over an entry's key and value bit patterns. */
@@ -25,9 +58,8 @@ std::uint64_t
 entryChecksum(const std::string &key, const std::vector<double> &values)
 {
     // FNV-1a over the key bytes, then every double's exact bit
-    // pattern folded in through the mixer. Values are written with
-    // precision 17, so a reload parses bit-identical doubles and the
-    // checksum is stable across write/read cycles.
+    // pattern folded in through the mixer. Identical to the v2 text
+    // checksum, so migrated entries re-verify without recomputation.
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (const char c : key) {
         h ^= static_cast<unsigned char>(c);
@@ -55,21 +87,8 @@ resolveShardCount(std::uint32_t shards)
 {
     if (shards != 0)
         return shards;
-    if (const char *env = std::getenv("EBM_CACHE_SHARDS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 4096)
-            return static_cast<std::uint32_t>(v);
-    }
-    return kDefaultShards;
-}
-
-std::string
-toHex(std::uint64_t h)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return static_cast<std::uint32_t>(
+        envUint("EBM_CACHE_SHARDS", kDefaultShards, 1, 4096));
 }
 
 /** Parse the space-separated value list; false on trailing garbage. */
@@ -90,14 +109,92 @@ parseValues(const std::string &text, std::vector<double> &values)
     return rest.empty();
 }
 
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+std::string
+buildHeader()
+{
+    std::string h(kHeaderSize, '\0');
+    std::memcpy(h.data(), kMagicV3, sizeof kMagicV3);
+    const std::uint32_t fmt = kFormatVersionV3;
+    std::memcpy(h.data() + 8, &fmt, sizeof fmt);
+    const auto cat = static_cast<std::uint32_t>(kAppCatalogVersion);
+    std::memcpy(h.data() + 12, &cat, sizeof cat);
+    const std::string fp = DiskCache::machineFingerprint();
+    std::memcpy(h.data() + 16, fp.data(),
+                std::min(fp.size(), kFingerprintBytes - 1));
+    return h;
+}
+
+void
+appendFrame(std::string &buf, const std::string &key,
+            const std::vector<double> &values)
+{
+    putU32(buf, kFrameMagic);
+    putU32(buf, static_cast<std::uint32_t>(key.size()));
+    putU32(buf, static_cast<std::uint32_t>(values.size()));
+    buf.append(key);
+    buf.append(reinterpret_cast<const char *>(values.data()),
+               values.size() * sizeof(double));
+    putU64(buf, entryChecksum(key, values));
+}
+
+bool
+pwriteAll(int fd, std::uint64_t off, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n =
+            ::pwrite(fd, data, len, static_cast<off_t>(off));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        off += static_cast<std::uint64_t>(n);
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+preadAll(int fd, std::uint64_t off, char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n =
+            ::pread(fd, data, len, static_cast<off_t>(off));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // Short file: caller sized from fstat.
+        data += n;
+        off += static_cast<std::uint64_t>(n);
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
 DiskCache::machineFingerprint()
 {
-    // Pin the properties the text format depends on: IEEE-754 doubles
-    // of a known width and byte order. Anything else and cached bit
-    // patterns cannot be trusted to round-trip.
+    // Pin the properties the binary format depends on: IEEE-754
+    // doubles of a known width and byte order. Anything else and
+    // cached bit patterns cannot be trusted to round-trip.
     std::string fp = std::numeric_limits<double>::is_iec559
                          ? "ieee754"
                          : "nonieee";
@@ -143,7 +240,7 @@ DiskCache::gatherAll() const
 {
     // Shards are locked one at a time, in order: the snapshot is a
     // consistent superset of every entry inserted before the caller
-    // bumped dirtyGen_, which is all the coalescing protocol needs.
+    // started gathering, which is all the rewrite paths need.
     EntryMap merged;
     for (const Shard &shard : shards_) {
         std::lock_guard<std::mutex> lk(shard.mu);
@@ -166,44 +263,192 @@ DiskCache::size() const
 void
 DiskCache::load()
 {
-    std::ifstream in(path_);
-    if (!in)
+    int fd = ::open(path_.c_str(), O_RDWR);
+    const bool writable = fd >= 0;
+    if (!writable)
+        fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
         return; // Missing file: an empty cache, not an error.
+    ::flock(fd, LOCK_EX);
 
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return;
+    }
+    const auto file_size = static_cast<std::size_t>(st.st_size);
+    if (file_size == 0) {
+        ::close(fd);
+        return;
+    }
+
+    // Map the file (read() fallback when mmap is unavailable) and
+    // dispatch on the magic: binary v3, or legacy text to migrate.
+    void *map =
+        ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    std::vector<char> buffer;
+    const char *data;
+    if (map != MAP_FAILED) {
+        data = static_cast<const char *>(map);
+    } else {
+        buffer.resize(file_size);
+        if (!preadAll(fd, 0, buffer.data(), file_size)) {
+            warn("DiskCache: cannot read " + path_ +
+                 "; starting with an empty cache");
+            ::close(fd);
+            return;
+        }
+        data = buffer.data();
+    }
+
+    if (file_size < sizeof kMagicV3 ||
+        std::memcmp(data, kMagicV3, sizeof kMagicV3) != 0) {
+        // Legacy v1/v2 text store (or garbage): the text loader
+        // migrates or quarantines after the fd is released.
+        std::vector<char> text(data, data + file_size);
+        if (map != MAP_FAILED)
+            ::munmap(map, file_size);
+        ::close(fd);
+        loadText(text);
+        return;
+    }
+
+    if (file_size < kHeaderSize) {
+        // A writer died inside the very first header write. There was
+        // nothing durable yet, so truncate rather than quarantine.
+        if (map != MAP_FAILED)
+            ::munmap(map, file_size);
+        loadReport_.tornTailTruncated = true;
+        if (writable)
+            (void)::ftruncate(fd, 0);
+        ::close(fd);
+        warn("DiskCache: " + path_ +
+             " holds a torn header; truncated to empty");
+        return;
+    }
+
+    std::uint32_t fmt = 0;
+    std::uint32_t cat = 0;
+    char fp[kFingerprintBytes] = {};
+    std::memcpy(&fmt, data + 8, sizeof fmt);
+    std::memcpy(&cat, data + 12, sizeof cat);
+    std::memcpy(fp, data + 16, kFingerprintBytes);
+    fp[kFingerprintBytes - 1] = '\0';
+    const std::string fingerprint(fp);
+    if (fmt != kFormatVersionV3 ||
+        cat != static_cast<std::uint32_t>(kAppCatalogVersion) ||
+        fingerprint != machineFingerprint()) {
+        // Wrong version, stale app catalog, or foreign machine:
+        // nothing in this file can be trusted, but it may be valuable
+        // elsewhere — quarantine it and start fresh.
+        if (map != MAP_FAILED)
+            ::munmap(map, file_size);
+        ::close(fd);
+        warn("DiskCache: " + path_ + " header (format " +
+             std::to_string(fmt) + ", catalog " + std::to_string(cat) +
+             ", '" + fingerprint + "') does not match this build " +
+             "(format " + std::to_string(kFormatVersionV3) +
+             ", catalog " +
+             std::to_string(static_cast<std::uint32_t>(
+                 kAppCatalogVersion)) +
+             ", '" + machineFingerprint() +
+             "'); quarantining and recomputing");
+        for (Shard &shard : shards_)
+            shard.entries.clear();
+        quarantineAndRewrite();
+        return;
+    }
+
+    std::vector<Entry> frames;
+    bool torn = false;
+    bool corrupt = false;
+    std::size_t valid_end =
+        scanFrames(data, kHeaderSize, file_size, frames, torn, corrupt);
+
+    // Injected torn write: the final frame loses its tail, as if the
+    // writing process was killed mid-append.
+    if (injector_ != nullptr &&
+        injector_->shouldFire(FaultInjector::Point::CacheReadTruncate) &&
+        !frames.empty()) {
+        valid_end = frames.back().offset;
+        frames.pop_back();
+        torn = true;
+    }
+
+    if (map != MAP_FAILED)
+        ::munmap(map, file_size);
+
+    mergeEntries(frames, &loadReport_.duplicateKeys);
+    loadReport_.entriesLoaded = size();
+
+    if (corrupt) {
+        // Bad bytes *before* the end of the file cannot be a torn
+        // append (appends only ever cut the tail): quarantine, keep
+        // the valid prefix, recompute the rest.
+        ++loadReport_.entriesSkipped;
+        ::close(fd);
+        warn("DiskCache: corrupt frame at offset " +
+             std::to_string(valid_end) + " in " + path_ +
+             "; quarantining the damaged file and recomputing the "
+             "lost results");
+        quarantineAndRewrite();
+        return;
+    }
+    if (torn) {
+        // A writer was killed mid-append: everything before the torn
+        // frame is intact, so chop the tail instead of quarantining
+        // the whole store.
+        ++loadReport_.entriesSkipped;
+        loadReport_.tornTailTruncated = true;
+        if (writable)
+            (void)::ftruncate(fd, static_cast<off_t>(valid_end));
+        warn("DiskCache: torn tail in " + path_ + "; truncated to " +
+             std::to_string(valid_end) +
+             " bytes (last valid frame) and kept " +
+             std::to_string(loadReport_.entriesLoaded) + " entries");
+    }
+    scanOffset_ = valid_end;
+    ::close(fd);
+}
+
+void
+DiskCache::loadText(const std::vector<char> &buffer)
+{
     std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line))
-        lines.push_back(line);
+    {
+        std::string line;
+        for (const char c : buffer) {
+            if (c == '\n') {
+                lines.push_back(std::move(line));
+                line.clear();
+            } else {
+                line += c;
+            }
+        }
+        if (!line.empty())
+            lines.push_back(std::move(line));
+    }
     if (lines.empty())
         return;
-
-    // Injected torn write: the final line loses its second half, as
-    // if the writing process was killed mid-write.
-    if (injector_ != nullptr &&
-        injector_->shouldFire(FaultInjector::Point::CacheReadTruncate)) {
-        std::string &last = lines.back();
-        last = last.substr(0, last.size() / 2);
-    }
 
     std::istringstream header(lines.front());
     std::string magic, version, fingerprint;
     header >> magic >> version >> fingerprint;
 
-    if (magic == kHeaderMagic) {
-        if (version != kFormatVersion ||
-            fingerprint != machineFingerprint()) {
-            // Wrong version or foreign machine: nothing on this file
-            // can be trusted, but it may be valuable elsewhere —
-            // quarantine it and start fresh.
-            warn("DiskCache: " + path_ + " has header '" +
-                 lines.front() + "', expected '" + kHeaderMagic + " " +
-                 kFormatVersion + " " + machineFingerprint() +
+    if (magic == "ebmcache") {
+        if (version != "v2" || fingerprint != machineFingerprint()) {
+            // Wrong text version or foreign machine: quarantine, as
+            // v2 did, and start fresh in the v3 format.
+            warn("DiskCache: " + path_ + " has text header '" +
+                 lines.front() + "', expected 'ebmcache v2 " +
+                 machineFingerprint() +
                  "'; quarantining and recomputing");
             for (Shard &shard : shards_)
                 shard.entries.clear();
             quarantineAndRewrite();
             return;
         }
+        loadReport_.migratedV2 = true;
         for (std::size_t i = 1; i < lines.size(); ++i) {
             if (!parseEntryLine(lines[i], /*with_checksum=*/true))
                 ++loadReport_.entriesSkipped;
@@ -227,10 +472,10 @@ DiskCache::load()
              path_ + "; quarantining the damaged file and recomputing "
                      "the lost results");
         quarantineAndRewrite();
-    } else if (loadReport_.migratedV1) {
-        if (persistAll())
-            inform("DiskCache: migrated " + path_ + " from v1 to " +
-                   kFormatVersion);
+    } else if (persistCompacted()) {
+        inform("DiskCache: migrated " + path_ + " from " +
+               (loadReport_.migratedV1 ? "v1 text" : "v2 text") +
+               " to the v3 binary format");
     }
 }
 
@@ -277,6 +522,143 @@ DiskCache::parseEntryLine(const std::string &line, bool with_checksum)
     return true;
 }
 
+std::size_t
+DiskCache::scanFrames(const char *data, std::size_t begin,
+                      std::size_t end, std::vector<Entry> &out,
+                      bool &torn, bool &corrupt)
+{
+    torn = false;
+    corrupt = false;
+    std::size_t off = begin;
+    while (off < end) {
+        if (end - off < kFrameHeadBytes) {
+            torn = true;
+            break;
+        }
+        std::uint32_t magic, key_len, value_count;
+        std::memcpy(&magic, data + off, sizeof magic);
+        std::memcpy(&key_len, data + off + 4, sizeof key_len);
+        std::memcpy(&value_count, data + off + 8, sizeof value_count);
+        if (magic != kFrameMagic || key_len == 0 ||
+            key_len > kMaxKeyBytes || value_count > kMaxValueCount) {
+            // A torn append only ever cuts a frame short; a complete
+            // 12-byte head with impossible fields is corruption.
+            corrupt = true;
+            break;
+        }
+        const std::size_t need = kFrameHeadBytes + key_len +
+                                 value_count * sizeof(double) +
+                                 kFrameTailBytes;
+        if (end - off < need) {
+            torn = true;
+            break;
+        }
+        Entry e;
+        e.key.assign(data + off + kFrameHeadBytes, key_len);
+        e.values.resize(value_count);
+        std::memcpy(e.values.data(),
+                    data + off + kFrameHeadBytes + key_len,
+                    value_count * sizeof(double));
+        std::uint64_t stored_sum = 0;
+        std::memcpy(&stored_sum, data + off + need - kFrameTailBytes,
+                    sizeof stored_sum);
+        if (entryChecksum(e.key, e.values) != stored_sum) {
+            // A bad checksum on the final frame is a garbled tail
+            // write; anywhere earlier it's corruption.
+            if (off + need == end)
+                torn = true;
+            else
+                corrupt = true;
+            break;
+        }
+        e.offset = off;
+        out.push_back(std::move(e));
+        off += need;
+    }
+    return off;
+}
+
+std::size_t
+DiskCache::mergeEntries(std::vector<Entry> &entries,
+                        std::size_t *duplicates)
+{
+    for (Entry &e : entries) {
+        Shard &shard = shardOf(e.key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        const auto it = shard.entries.find(e.key);
+        if (it == shard.entries.end()) {
+            shard.entries.emplace(std::move(e.key),
+                                  std::move(e.values));
+        } else {
+            if (duplicates != nullptr)
+                ++*duplicates;
+            it->second = std::move(e.values);
+        }
+    }
+    const std::size_t merged = entries.size();
+    entries.clear();
+    return merged;
+}
+
+bool
+DiskCache::scanRegionLocked(int fd, std::uint64_t file_size,
+                            std::uint64_t &valid_end,
+                            std::size_t &merged)
+{
+    merged = 0;
+    valid_end = file_size;
+    if (scanOffset_ < kHeaderSize) {
+        // We loaded an empty/missing file and a peer created the
+        // store meanwhile: verify it really is one before trusting
+        // frame offsets.
+        char magic[sizeof kMagicV3] = {};
+        if (!preadAll(fd, 0, magic, sizeof magic) ||
+            std::memcmp(magic, kMagicV3, sizeof magic) != 0) {
+            warn("DiskCache: " + path_ +
+                 " is not a v3 store; skipping refresh");
+            return false;
+        }
+        scanOffset_ = kHeaderSize;
+    }
+    if (file_size <= scanOffset_)
+        return true;
+
+    std::vector<char> region(file_size - scanOffset_);
+    if (!preadAll(fd, scanOffset_, region.data(), region.size())) {
+        warn("DiskCache: cannot read appended frames from " + path_);
+        return false;
+    }
+    std::vector<Entry> frames;
+    bool torn = false;
+    bool corrupt = false;
+    const std::size_t rel_end =
+        scanFrames(region.data(), 0, region.size(), frames, torn,
+                   corrupt);
+    valid_end = scanOffset_ + rel_end;
+    merged = mergeEntries(frames, nullptr);
+    if (corrupt) {
+        // Mid-run corruption from a peer survived its CRC — disk-level
+        // damage. Don't quarantine a store other processes are using;
+        // skip past it and let a later cold load recover.
+        warn("DiskCache: corrupt appended frame at offset " +
+             std::to_string(valid_end) + " in " + path_ +
+             "; ignoring the damaged region");
+        scanOffset_ = file_size;
+        valid_end = file_size;
+        return true;
+    }
+    if (torn) {
+        // We hold the exclusive lock, so no live writer is mid-append:
+        // the partial tail belongs to a killed peer. Chop it.
+        if (::ftruncate(fd, static_cast<off_t>(valid_end)) == 0)
+            warn("DiskCache: truncated a torn peer append in " +
+                 path_ + " at " + std::to_string(valid_end) +
+                 " bytes");
+    }
+    scanOffset_ = valid_end;
+    return true;
+}
+
 void
 DiskCache::quarantineAndRewrite()
 {
@@ -288,99 +670,193 @@ DiskCache::quarantineAndRewrite()
         warn("DiskCache: could not quarantine " + path_ + " to " +
              quarantine);
     }
+    // The original file is gone; a successful rewrite below resets
+    // the scan cursor itself, a failed one leaves no file at all.
+    scanOffset_ = 0;
     // Re-persist whatever survived so the next open is clean even if
     // no further put() happens.
     if (size() != 0 || loadReport_.quarantined)
-        persistAll();
+        persistCompacted();
 }
 
 bool
-DiskCache::persistAll()
+DiskCache::persistCompacted()
 {
-    std::unique_lock<std::mutex> lk(persistMu_);
-    return persistOnce(lk);
-}
-
-/**
- * One persist attempt. Expects the persist lock held; the file I/O
- * itself runs unlocked on a gathered snapshot so readers and writers
- * are never blocked behind the disk. Failure accounting happens here.
- */
-bool
-DiskCache::persistOnce(std::unique_lock<std::mutex> &lk)
-{
-    // The injector query is serialized by the single-writer persist
-    // role (and the constructor), so the ordinal fault schedules used
-    // by the robustness tests stay deterministic.
+    // The injector query is serialized by the callers (constructor,
+    // offline compaction), so the ordinal fault schedules used by the
+    // robustness tests stay deterministic.
     if (injector_ != nullptr &&
         injector_->shouldFire(FaultInjector::Point::CacheWriteFail)) {
-        ++persistFailures_;
-        lk.unlock();
         warn("DiskCache: injected persist failure for " + path_);
-        lk.lock();
+        std::lock_guard<std::mutex> lk(persistMu_);
+        ++persistFailures_;
         return false;
     }
-
-    lk.unlock();
-    const EntryMap snapshot = gatherAll();
-    const bool ok = writeSnapshot(snapshot);
-    lk.lock();
-    if (!ok)
+    const bool ok = writeCompacted(gatherAll());
+    if (!ok) {
+        std::lock_guard<std::mutex> lk(persistMu_);
         ++persistFailures_;
+    }
     return ok;
 }
 
 bool
-DiskCache::writeSnapshot(const EntryMap &snapshot)
+DiskCache::writeCompacted(const EntryMap &snapshot)
 {
-    // Atomic persist: write a sibling temp file, then rename over the
-    // real path. A crash mid-write leaves the old file intact; the
-    // temp is simply overwritten on the next attempt.
-    const std::string tmp = path_ + ".tmp";
+    // Sorted keys: deterministic bytes that diff cleanly — the same
+    // file for a given entry set no matter what order frames were
+    // appended in, how many threads raced, or how many processes
+    // cooperated on the sweep.
+    std::vector<const std::string *> keys;
+    keys.reserve(snapshot.size());
+    for (const auto &kv : snapshot)
+        keys.push_back(&kv.first);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string *a, const std::string *b) {
+                  return *a < *b;
+              });
+    std::string buf = buildHeader();
+    for (const std::string *key : keys)
+        appendFrame(buf, *key, snapshot.at(*key));
+
     {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
+        std::lock_guard<std::mutex> io(ioMu_);
+        // Atomic rewrite: a sibling temp file, fsync, then rename over
+        // the real path. A crash mid-write leaves the old file intact.
+        const std::string tmp = path_ + ".tmp";
+        const int fd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0) {
             warn("DiskCache: cannot persist to " + path_ +
                  " (directory unwritable?); results stay in memory");
             return false;
         }
-        out << kHeaderMagic << ' ' << kFormatVersion << ' '
-            << machineFingerprint() << '\n';
-
-        // Sorted keys: deterministic files that diff cleanly, and the
-        // same bytes for a given entry set no matter what order
-        // concurrent writers inserted in (or how many shards held
-        // the entries in memory).
-        std::vector<const std::string *> keys;
-        keys.reserve(snapshot.size());
-        for (const auto &kv : snapshot)
-            keys.push_back(&kv.first);
-        std::sort(keys.begin(), keys.end(),
-                  [](const std::string *a, const std::string *b) {
-                      return *a < *b;
-                  });
-
-        out.precision(17);
-        for (const std::string *key : keys) {
-            const std::vector<double> &values = snapshot.at(*key);
-            out << *key << '|' << toHex(entryChecksum(*key, values))
-                << '|';
-            for (const double v : values)
-                out << ' ' << v;
-            out << '\n';
-        }
-        out.flush();
-        if (!out) {
+        const bool wrote =
+            pwriteAll(fd, 0, buf.data(), buf.size()) &&
+            ::fsync(fd) == 0;
+        ::close(fd);
+        if (!wrote) {
             warn("DiskCache: write to " + tmp + " failed");
             std::remove(tmp.c_str());
             return false;
         }
+        if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+            warn("DiskCache: rename " + tmp + " -> " + path_ +
+                 " failed");
+            std::remove(tmp.c_str());
+            return false;
+        }
+        scanOffset_ = buf.size();
     }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        warn("DiskCache: rename " + tmp + " -> " + path_ + " failed");
-        std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> lk(persistMu_);
+    loadReport_.bytesWritten += buf.size();
+    return true;
+}
+
+bool
+DiskCache::compact()
+{
+    return persistCompacted();
+}
+
+std::size_t
+DiskCache::refresh()
+{
+    std::lock_guard<std::mutex> io(ioMu_);
+    int fd = ::open(path_.c_str(), O_RDWR);
+    if (fd < 0)
+        fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
+        return 0; // Nothing persisted anywhere yet.
+    // Exclusive, not shared: a scan may truncate a torn peer tail.
+    ::flock(fd, LOCK_EX);
+    struct stat st = {};
+    std::size_t merged = 0;
+    if (::fstat(fd, &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) > scanOffset_ &&
+        static_cast<std::uint64_t>(st.st_size) >= kHeaderSize) {
+        std::uint64_t valid_end = 0;
+        scanRegionLocked(fd, static_cast<std::uint64_t>(st.st_size),
+                         valid_end, merged);
+    }
+    ::close(fd);
+    return merged;
+}
+
+bool
+DiskCache::appendBatch(const std::vector<Entry> &batch)
+{
+    // The injector query is serialized by the single-writer append
+    // role (one query per batch, matching the v2 one-per-rewrite), so
+    // ordinal fault schedules stay deterministic.
+    if (injector_ != nullptr &&
+        injector_->shouldFire(FaultInjector::Point::CacheWriteFail)) {
+        warn("DiskCache: injected persist failure for " + path_);
         return false;
     }
+
+    std::string buf;
+    for (const Entry &e : batch)
+        appendFrame(buf, e.key, e.values);
+
+    std::uint64_t wrote = 0;
+    bool ok = false;
+    {
+        std::lock_guard<std::mutex> io(ioMu_);
+        const int fd =
+            ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+        if (fd < 0) {
+            warn("DiskCache: cannot persist to " + path_ +
+                 " (directory unwritable?); results stay in memory");
+            return false;
+        }
+        ::flock(fd, LOCK_EX);
+        struct stat st = {};
+        if (::fstat(fd, &st) == 0) {
+            auto end = static_cast<std::uint64_t>(st.st_size);
+            bool ready = true;
+            if (end < kHeaderSize) {
+                // Empty store, or a header torn by a writer killed on
+                // its very first batch: (re)write the header.
+                const std::string header = buildHeader();
+                if (end != 0)
+                    (void)::ftruncate(fd, 0);
+                ready = pwriteAll(fd, 0, header.data(), header.size());
+                if (ready) {
+                    end = kHeaderSize;
+                    wrote += header.size();
+                    scanOffset_ = kHeaderSize;
+                }
+            } else {
+                // Fold in frames other processes appended since our
+                // last scan, under the same exclusive lock, so our
+                // append lands at the true end of valid data.
+                std::size_t merged = 0;
+                ready = scanRegionLocked(fd, end, end, merged);
+            }
+            if (ready) {
+                ok = pwriteAll(fd, end, buf.data(), buf.size()) &&
+                     ::fsync(fd) == 0;
+                if (ok) {
+                    wrote += buf.size();
+                    scanOffset_ = end + buf.size();
+                } else {
+                    // Drop our own partial append so the file stays a
+                    // clean frame sequence for every other process.
+                    (void)::ftruncate(fd, static_cast<off_t>(end));
+                }
+            }
+        }
+        ::close(fd);
+    }
+    if (!ok) {
+        warn("DiskCache: append to " + path_ + " failed");
+        return false;
+    }
+    std::lock_guard<std::mutex> lk(persistMu_);
+    loadReport_.bytesWritten += wrote;
+    ++loadReport_.appendBatches;
+    loadReport_.entriesAppended += batch.size();
     return true;
 }
 
@@ -446,6 +922,10 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
                     "DiskCache: key contains a reserved character: " +
                         key});
     }
+    if (key.size() > kMaxKeyBytes || values.size() > kMaxValueCount) {
+        fatal(Error{Errc::InvalidArgument,
+                    "DiskCache: entry exceeds format bounds: " + key});
+    }
 
     {
         Shard &shard = shardOf(key);
@@ -453,29 +933,93 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
         shard.entries[key] = values;
     }
 
-    // Single-writer coalescing persist: if another thread already
-    // holds the writer role it is guaranteed to loop until it has
-    // covered this generation, so returning here is safe — the entry
-    // is in memory and a persist covering it is claimed. Otherwise
-    // take the role and rewrite until clean; a burst of concurrent
-    // put()s collapses into a handful of file rewrites instead of one
-    // per entry. The entry was inserted into its shard *before* this
-    // generation bump, so any persist targeting the bumped generation
-    // gathers it.
+    // Single-writer group commit: if another thread already holds the
+    // writer role it is guaranteed to loop until the pending queue —
+    // which now contains this entry — is drained, so returning here
+    // is safe: the entry is in memory and a batched append covering
+    // it is claimed. Otherwise take the role and append until the
+    // queue is empty; a burst of concurrent put()s collapses into a
+    // handful of batched appends instead of one write per entry.
     std::unique_lock<std::mutex> lk(persistMu_);
-    ++dirtyGen_;
+    pending_.push_back(Entry{key, values, 0});
     if (writerActive_)
         return;
     writerActive_ = true;
-    while (persistedGen_ < dirtyGen_) {
-        const std::uint64_t target = dirtyGen_;
-        persistOnce(lk); // Drops the lock around the file I/O.
-        // Advance even on failure — the failure is counted and
-        // warned; the next put() retries rather than this one
-        // spinning on a broken disk.
-        persistedGen_ = target;
+    std::vector<Entry> batch;
+    while (!pending_.empty()) {
+        batch.clear();
+        batch.swap(pending_);
+        lk.unlock();
+        const bool ok = appendBatch(batch); // File I/O unlocked.
+        lk.lock();
+        if (!ok)
+            ++persistFailures_;
     }
     writerActive_ = false;
+    persistCv_.notify_all();
+}
+
+void
+DiskCache::sync()
+{
+    // The queue is only ever non-empty while a writer is bound to
+    // drain it (put() takes the role itself otherwise), so idle role
+    // + empty queue means everything enqueued before this call has
+    // been appended or counted as a failure.
+    std::unique_lock<std::mutex> lk(persistMu_);
+    persistCv_.wait(
+        lk, [this] { return !writerActive_ && pending_.empty(); });
+}
+
+std::uint64_t
+DiskCache::bytesWritten() const
+{
+    std::lock_guard<std::mutex> lk(persistMu_);
+    return loadReport_.bytesWritten;
+}
+
+std::uint64_t
+DiskCache::appendBatches() const
+{
+    std::lock_guard<std::mutex> lk(persistMu_);
+    return loadReport_.appendBatches;
+}
+
+std::uint64_t
+DiskCache::entriesAppended() const
+{
+    std::lock_guard<std::mutex> lk(persistMu_);
+    return loadReport_.entriesAppended;
+}
+
+std::size_t
+DiskCache::persistFailures() const
+{
+    std::lock_guard<std::mutex> lk(persistMu_);
+    return persistFailures_;
+}
+
+std::string
+DiskCache::persistSummaryLine() const
+{
+    std::uint64_t bytes, batches, entries;
+    {
+        std::lock_guard<std::mutex> lk(persistMu_);
+        bytes = loadReport_.bytesWritten;
+        batches = loadReport_.appendBatches;
+        entries = loadReport_.entriesAppended;
+    }
+    std::ostringstream out;
+    out << "cache persist: " << bytes << " bytes in " << batches
+        << " append batches covering " << entries << " entries";
+    if (entries > 0) {
+        out.precision(1);
+        out << std::fixed << " ("
+            << static_cast<double>(bytes) /
+                   static_cast<double>(entries)
+            << " bytes/entry)";
+    }
+    return out.str();
 }
 
 } // namespace ebm

@@ -1,42 +1,55 @@
 /**
  * @file
- * A small on-disk result cache so the expensive 64-combination
+ * A durable on-disk result store so the expensive 64-combination
  * exhaustive sweeps are simulated once and shared by every bench
- * binary. Values are flat double vectors; keys are caller-constructed
- * strings that embed a configuration fingerprint.
+ * binary — and, since v3, by every *process*. Values are flat double
+ * vectors; keys are caller-constructed strings that embed a
+ * configuration fingerprint.
  *
- * Format v2 (one text file):
+ * Format v3 (one binary file):
  *
- *     ebmcache v2 <machine fingerprint>
- *     <key>|<16-hex-digit checksum>| <v0> <v1> ...
+ *     [64-byte header]  magic "EBMCBIN3", format version, app-catalog
+ *                       version, machine float-ABI fingerprint
+ *     [frame]*          u32 magic | u32 keyLen | u32 valueCount |
+ *                       key bytes | valueCount raw doubles |
+ *                       u64 checksum over key and value bits
  *
- * The header pins the format version and the writing machine's
- * floating-point ABI; every entry carries a checksum over its key and
- * value bits. Loading is defensive: corrupt or truncated entries are
- * skipped (and recomputed by callers on the resulting miss), a file
- * that fails validation is quarantined to `<path>.quarantined` rather
- * than trusted or deleted, and persistence is atomic
- * (write-temp-then-rename) so a killed process never leaves a
- * half-written cache behind. Legacy v1 files (no header) are migrated
- * in place on load.
+ * The store is *append-only*: put() appends CRC-framed records under
+ * an exclusive `flock`, with group commit — a burst of concurrent
+ * put()s collapses into a handful of batched appends, each fsync'ed,
+ * and a put() returns once a batched append covering its entry is
+ * durable or claimed by the active writer. Appending replaces the v2
+ * full-file coalescing rewrite, so persist I/O is O(new entries), not
+ * O(total entries) per burst. Loading memory-maps the file and scans
+ * frames once with O(1) per-record work (raw doubles are memcpy'd,
+ * never re-parsed from text). Duplicate keys are legal — later frames
+ * win — and `compact()` rewrites the store sorted by key (atomic
+ * tmp + rename), so a compacted store is byte-identical for a given
+ * entry set no matter what order, how many threads, or how many
+ * processes appended.
  *
- * Thread safety: all public operations may be called concurrently
- * (the harness's parallel sweeps put() from worker threads). The
- * in-memory map is *sharded* by key hash — each shard has its own
- * mutex — so lookups and inserts from different workers almost never
- * contend on one lock at high EBM_JOBS. Persistence is unchanged from
- * the single-map design: single-writer and coalescing — whichever
- * thread holds the writer role keeps rewriting (tmp + atomic rename,
- * as ever) until it has covered every entry inserted meanwhile, and a
- * put() only returns once a persist covering its entry has completed
- * or been claimed by that writer. The persist snapshot gathers all
- * shards and writes entries sorted by key, so the file a given entry
- * set produces is byte-identical at any shard count and any thread
- * interleaving.
+ * Corruption handling is frame-by-frame: a torn tail (a killed writer
+ * mid-append) truncates the file back to the last valid frame instead
+ * of quarantining the world; anything else — bad header, foreign
+ * machine, mid-file frame corruption — preserves the v2 contract of
+ * quarantining the file to `<path>.quarantined` and recomputing.
+ * Legacy v1 (plain text) and v2 (checksummed text) files migrate to
+ * v3 in place on load.
+ *
+ * Cross-process sharing: writers from different processes interleave
+ * appends safely under `flock`, and `refresh()` folds frames appended
+ * by other processes since the last scan into memory — the read side
+ * of the sweep shard-claim protocol (harness/shard_claim.hpp).
+ *
+ * Thread safety: all public operations may be called concurrently.
+ * The in-memory map is sharded by key hash (one mutex per shard); the
+ * append protocol is single-writer and coalescing, exactly like the
+ * v2 persist role, just appending deltas instead of rewriting.
  */
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -48,23 +61,31 @@
 
 namespace ebm {
 
-/** Durable key -> vector<double> store backed by a text file. */
+/** Durable key -> vector<double> store backed by a binary file. */
 class DiskCache
 {
   public:
-    /** What happened while loading the backing file. */
+    /** What happened while loading (and writing) the backing file. */
     struct LoadReport
     {
         std::size_t entriesLoaded = 0;
-        std::size_t entriesSkipped = 0;  ///< Corrupt/truncated lines.
-        std::size_t duplicateKeys = 0;   ///< Later entry won.
-        bool migratedV1 = false;         ///< Legacy file upgraded.
+        std::size_t entriesSkipped = 0;  ///< Corrupt/truncated frames.
+        std::size_t duplicateKeys = 0;   ///< Later frame won.
+        bool migratedV1 = false;         ///< Legacy text file upgraded.
+        bool migratedV2 = false;         ///< v2 text file upgraded.
         bool quarantined = false;        ///< Bad file set aside.
+        bool tornTailTruncated = false;  ///< Tail chopped to last frame.
         std::string quarantinePath;
+
+        // Persist-side counters (this instance's writes), so the I/O
+        // amplification of a sweep is observable, not just benchmarked.
+        std::uint64_t bytesWritten = 0;   ///< File bytes written.
+        std::uint64_t appendBatches = 0;  ///< Group-commit batches.
+        std::uint64_t entriesAppended = 0;///< Entries covered by them.
     };
 
     /**
-     * Open (and load) the cache at @p path; missing file is fine.
+     * Open (and load) the store at @p path; missing file is fine.
      *
      * @param injector optional fault injection (robustness tests)
      * @param shards   in-memory shard count; 0 = EBM_CACHE_SHARDS or
@@ -90,8 +111,43 @@ class DiskCache
     std::optional<std::vector<double>>
     getValidated(const std::string &key, std::size_t expected_size) const;
 
-    /** Insert and persist @p key -> @p values (atomic rewrite). */
+    /**
+     * Insert @p key -> @p values and append it durably (group
+     * commit): returns once a batched append covering the entry has
+     * been fsync'ed, or once the active writer has claimed a batch
+     * that covers it.
+     */
     void put(const std::string &key, const std::vector<double> &values);
+
+    /**
+     * Block until every entry enqueued by put() before this call is
+     * durably appended (or its batch has failed and been counted).
+     * Group commit lets put() return as soon as the active writer is
+     * bound to cover its entry; cross-process coordination
+     * (harness/shard_claim.hpp) must sync() before releasing a row's
+     * claim, because peers read "claim gone" as "result durable".
+     */
+    void sync();
+
+    /**
+     * Scan frames appended to the file since the last scan (by this
+     * or any other process) and fold them into memory, later frames
+     * winning. The read side of cross-process sweep sharding.
+     *
+     * @return entries merged from the newly scanned region
+     */
+    std::size_t refresh();
+
+    /**
+     * Offline compaction: rewrite the store as one sorted-by-key
+     * frame sequence (atomic tmp + fsync + rename). A compacted store
+     * is byte-identical for a given entry set regardless of append
+     * history, thread count, or process count. Offline means no
+     * *other process* may be appending concurrently (same-process
+     * put()s serialize against it); the compacting process's own
+     * in-memory view is authoritative.
+     */
+    bool compact();
 
     std::size_t size() const;
 
@@ -118,15 +174,22 @@ class DiskCache
     /** Diagnostics from the constructor's load pass. */
     const LoadReport &loadReport() const { return loadReport_; }
 
-    /** Failed persist attempts (I/O errors; entries stay in memory). */
-    std::size_t
-    persistFailures() const
-    {
-        std::lock_guard<std::mutex> lk(persistMu_);
-        return persistFailures_;
-    }
+    /** File bytes written by this instance (appends + compactions). */
+    std::uint64_t bytesWritten() const;
 
-    /** Format-v2 header fingerprint of this machine's float ABI. */
+    /** Group-commit append batches completed by this instance. */
+    std::uint64_t appendBatches() const;
+
+    /** Entries covered by completed append batches. */
+    std::uint64_t entriesAppended() const;
+
+    /** Failed persist attempts (I/O errors; entries stay in memory). */
+    std::size_t persistFailures() const;
+
+    /** One-line persist-amplification summary (bench status lines). */
+    std::string persistSummaryLine() const;
+
+    /** Format-v3 header fingerprint of this machine's float ABI. */
     static std::string machineFingerprint();
 
     /**
@@ -140,6 +203,14 @@ class DiskCache
   private:
     using EntryMap = std::unordered_map<std::string, std::vector<double>>;
 
+    /** One key -> values record, as parsed from or written to disk. */
+    struct Entry
+    {
+        std::string key;
+        std::vector<double> values;
+        std::size_t offset = 0;  ///< Frame start (scan paths only).
+    };
+
     /** One lock domain of the in-memory map. */
     struct Shard
     {
@@ -151,13 +222,39 @@ class DiskCache
     const Shard &shardOf(const std::string &key) const;
 
     void load();
+    void loadText(const std::vector<char> &buffer);
     bool parseEntryLine(const std::string &line, bool with_checksum);
+    /**
+     * Scan v3 frames in [@p begin, @p end) of @p data, appending
+     * parsed records to @p out. @return the offset just past the last
+     * valid frame; sets @p torn when the scan stopped on a frame cut
+     * off by @p end (torn tail) rather than on bad bytes (@p corrupt).
+     */
+    static std::size_t scanFrames(const char *data, std::size_t begin,
+                                  std::size_t end,
+                                  std::vector<Entry> &out, bool &torn,
+                                  bool &corrupt);
+    /** Merge parsed records into the shards, later records winning. */
+    std::size_t mergeEntries(std::vector<Entry> &entries,
+                             std::size_t *duplicates);
+    /**
+     * Scan and merge frames in [scanOffset_, @p file_size). Expects
+     * ioMu_ and an exclusive flock held. Sets @p valid_end to the
+     * offset just past the last valid frame (truncating a torn peer
+     * tail when the fd is writable) and @p merged to the entries
+     * folded in. @return false when the file is not a v3 store.
+     */
+    bool scanRegionLocked(int fd, std::uint64_t file_size,
+                          std::uint64_t &valid_end,
+                          std::size_t &merged);
     void quarantineAndRewrite();
-    /** All shards merged (for persist snapshots and the load path). */
+    /** All shards merged (for compaction snapshots and rewrites). */
     EntryMap gatherAll() const;
-    bool persistAll();
-    bool persistOnce(std::unique_lock<std::mutex> &lk);
-    bool writeSnapshot(const EntryMap &snapshot);
+    /** Full sorted rewrite (migration, quarantine recovery, compact). */
+    bool persistCompacted();
+    bool writeCompacted(const EntryMap &snapshot);
+    /** Append one group-commit batch under flock; updates counters. */
+    bool appendBatch(const std::vector<Entry> &batch);
 
     std::string path_;
     FaultInjector *injector_;
@@ -167,12 +264,20 @@ class DiskCache
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
 
-    /** Guards the persist protocol state below (never a shard). */
+    /** Guards the group-commit protocol state below (never a shard). */
     mutable std::mutex persistMu_;
+    /** Signals the writer role going idle (pending queue drained). */
+    std::condition_variable persistCv_;
     std::size_t persistFailures_ = 0;
-    bool writerActive_ = false;   ///< A thread holds the persist role.
-    std::uint64_t dirtyGen_ = 0;  ///< Bumped by every insertion.
-    std::uint64_t persistedGen_ = 0; ///< Last generation persisted.
+    bool writerActive_ = false;   ///< A thread holds the append role.
+    std::vector<Entry> pending_;  ///< Entries awaiting a batch append.
+
+    /** Serializes file I/O (appends, refreshes, compaction) and the
+     * scan cursor within this process; `flock` serializes across
+     * processes. Never acquired with persistMu_ held. */
+    mutable std::mutex ioMu_;
+    /** File offset up to which frames have been folded into memory. */
+    std::uint64_t scanOffset_ = 0;
 };
 
 } // namespace ebm

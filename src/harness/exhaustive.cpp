@@ -4,10 +4,12 @@
 #include <cmath>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/cost_model.hpp"
+#include "harness/shard_claim.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -18,8 +20,10 @@ SweepStatus::summaryLine() const
 {
     std::ostringstream out;
     out << "sweep status: " << combos << " combos (" << fromCache
-        << " from cache, " << simulated << " simulated, " << retried
-        << " retried, " << skipped << " skipped)";
+        << " from cache, " << simulated << " simulated, ";
+    if (fromPeers > 0)
+        out << fromPeers << " from peers, ";
+    out << retried << " retried, " << skipped << " skipped)";
     return out.str();
 }
 
@@ -61,8 +65,11 @@ struct SweepTask
     std::string key;
     /** Leading attempts the pre-drawn fault schedule fails. */
     std::uint32_t injectedFails = 0;
+    /** 1 = another process claimed the row; wait for its result. */
+    std::uint32_t deferred = 0;
     /** Outcome, merged into SweepStatus after the pool drains. */
     std::uint32_t simulated = 0;
+    std::uint32_t fromPeers = 0;
     std::uint32_t retried = 0;
     std::uint32_t skipped = 0;
 };
@@ -107,44 +114,50 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     table.results.resize(total);
     table.skipped.assign(total, 0);
 
+    // Decode a validated cache vector back into a RunResult (the
+    // inverse of the encoding in simulateTask below).
+    const auto decode = [n](const std::vector<double> &v,
+                            const TlpCombo &combo) {
+        RunResult result;
+        result.apps.resize(n);
+        for (std::uint32_t a = 0; a < n; ++a) {
+            result.apps[a].ipc = v[4 * a + 0];
+            result.apps[a].bw = v[4 * a + 1];
+            result.apps[a].l1Mr = v[4 * a + 2];
+            result.apps[a].l2Mr = v[4 * a + 3];
+            result.totalBw += result.apps[a].bw;
+        }
+        result.measuredCycles = static_cast<Cycle>(v.back());
+        result.finalTlp = combo;
+        return result;
+    };
+
+    // Cross-process sharding (EBM_SWEEP_SHARD): rows are claimed at
+    // dispatch through atomic claim files, so N cooperating processes
+    // split a cold sweep instead of each simulating all of it.
+    std::optional<ShardClaims> claims;
+    if (ShardClaims::shardingEnabled())
+        claims.emplace(cache_.path());
+
     // Serial pass in row order: cache probes and the injected
     // run-failure pre-draw both consume ordered global state (the
     // cache's warnings, the injector's query counter), so they happen
     // here — in exactly the order the all-serial sweep used — no
-    // matter how many workers run the misses afterwards.
+    // matter how many workers run the misses afterwards. Cooperating
+    // processes that start cold draw identical schedules (same seed,
+    // same row order), so each one's view of which attempts fail is
+    // the same no matter which process ends up running a row.
     FaultInjector *injector = runner_.options().faultInjector;
     std::vector<SweepTask> tasks;
     for (std::size_t row = 0; row < total; ++row) {
         const TlpCombo &combo = table.combos[row];
-
-        // Built with += (not operator+ on a temporary) to dodge GCC
-        // 12's false-positive -Wrestrict on char* + string&&.
-        std::string key = "combo/";
-        key += runner_.fingerprint();
-        key += '/';
-        key += wl.name;
-        for (std::uint32_t t : combo) {
-            key += '/';
-            key += std::to_string(t);
-        }
+        std::string key = runner_.comboKey(wl.name, combo);
 
         // A wrong-shape or non-finite cache entry (stale layout,
         // survived-but-bogus line, pre-guard NaN) is a miss:
         // recompute and overwrite rather than trust.
         if (const auto cached = cache_.getValidated(key, 4u * n + 1)) {
-            const auto &v = *cached;
-            RunResult result;
-            result.apps.resize(n);
-            for (std::uint32_t a = 0; a < n; ++a) {
-                result.apps[a].ipc = v[4 * a + 0];
-                result.apps[a].bw = v[4 * a + 1];
-                result.apps[a].l1Mr = v[4 * a + 2];
-                result.apps[a].l2Mr = v[4 * a + 3];
-                result.totalBw += result.apps[a].bw;
-            }
-            result.measuredCycles = static_cast<Cycle>(v.back());
-            result.finalTlp = combo;
-            table.results[row] = std::move(result);
+            table.results[row] = decode(*cached, combo);
             ++sweep_status.fromCache;
             continue;
         }
@@ -164,11 +177,11 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         tasks.push_back(std::move(task));
     }
 
-    // Run one task: bounded retry — a failing run (pre-drawn injected
-    // fault or a genuine crash) is retried, then skipped; one bad
-    // combination must not lose the whole sweep. Each success is
-    // persisted as it completes (checkpoint/resume).
-    auto runTask = [&](SweepTask &task) {
+    // Simulate one owned task: bounded retry — a failing run
+    // (pre-drawn injected fault or a genuine crash) is retried, then
+    // skipped; one bad combination must not lose the whole sweep.
+    // Each success is persisted as it completes (checkpoint/resume).
+    auto simulateTask = [&](SweepTask &task) {
         const TlpCombo &combo = table.combos[task.row];
 
         // Workers never touch the shared injector: the run-failure
@@ -193,6 +206,10 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
              !done && attempt <= maxRetries_; ++attempt) {
             if (attempt > 0)
                 ++task.retried;
+            // Liveness signal for cooperating processes: while this
+            // row is retrying it is being worked on, not abandoned.
+            if (claims)
+                claims->heartbeat(task.key);
             if (attempt < task.injectedFails) {
                 warn("Exhaustive: run failed for " + task.key +
                      " (attempt " + std::to_string(attempt + 1) + "/" +
@@ -229,14 +246,64 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             v.push_back(static_cast<double>(result.measuredCycles));
             cache_.put(task.key, v);
             task.simulated = 1;
+            if (claims) {
+                // Group commit may return before the covering batch
+                // lands; peers read "claim gone" as "result durable",
+                // so force the flush before dropping the claim.
+                cache_.sync();
+                claims->release(task.key);
+            }
         } else {
             result = RunResult{};
             result.apps.resize(n);
             result.finalTlp = combo;
             table.skipped[task.row] = 1;
             task.skipped = 1;
+            // Durable skip marker: waiting processes replicate the
+            // skip instead of polling a row that will never appear.
+            if (claims)
+                claims->markSkipped(task.key);
         }
         table.results[task.row] = std::move(result);
+    };
+
+    // Fold in rows cooperating processes finished since our probe
+    // pass: a completed row's claim is already gone (released after
+    // the durable put), so claims alone cannot tell "done" from
+    // "never started" — the store can. @return true when the row was
+    // assembled from a peer's result.
+    auto probePeer = [&](SweepTask &task) {
+        cache_.refresh();
+        const auto v =
+            cache_.getValidated(task.key, 4u * std::size_t{n} + 1);
+        if (!v)
+            return false;
+        table.results[task.row] = decode(*v, table.combos[task.row]);
+        task.fromPeers = 1;
+        return true;
+    };
+
+    // Dispatch gate: under sharding a worker re-probes the store
+    // (peers may have finished the row already), claims the row right
+    // before simulating it, and re-probes once more after winning the
+    // claim (the owner may have released — result durable — between
+    // probe and acquisition). Cooperating processes thus split the
+    // missing rows by arrival instead of duplicating them; a row
+    // someone else still holds is deferred to the wait phase below.
+    auto runTask = [&](SweepTask &task) {
+        if (claims) {
+            if (probePeer(task))
+                return;
+            if (!claims->tryAcquire(task.key)) {
+                task.deferred = 1;
+                return;
+            }
+            if (probePeer(task)) {
+                claims->release(task.key);
+                return;
+            }
+        }
+        simulateTask(task);
     };
 
     // Longest-expected-first submission (LPT): the barrier at the end
@@ -267,10 +334,71 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         pool.wait();
     }
 
+    // Wait phase (sharding only): rows other processes claimed are
+    // assembled in odometer order from the shared store. The claim
+    // protocol closes every gap: a finished owner's result appears on
+    // refresh(), a killed owner's claim goes stale and is taken over,
+    // and a skipping owner leaves a durable marker we replicate — so
+    // this loop always terminates, and the assembled table is the one
+    // a single process would have built.
+    for (SweepTask &task : tasks) {
+        if (!task.deferred)
+            continue;
+        const std::size_t expected = 4u * static_cast<std::size_t>(n) + 1;
+        for (bool waiting = true; waiting;) {
+            cache_.refresh();
+            if (const auto v = cache_.getValidated(task.key, expected)) {
+                table.results[task.row] =
+                    decode(*v, table.combos[task.row]);
+                task.fromPeers = 1;
+                break;
+            }
+            switch (claims->peek(task.key)) {
+              case ShardClaims::State::Skipped: {
+                RunResult result;
+                result.apps.resize(n);
+                result.finalTlp = table.combos[task.row];
+                table.results[task.row] = std::move(result);
+                table.skipped[task.row] = 1;
+                task.skipped = 1;
+                waiting = false;
+                break;
+              }
+              case ShardClaims::State::Absent:
+                // Owner takeover race (or it crashed between durable
+                // result and release — the re-probe covers the result
+                // landing after this iteration's refresh): claim it
+                // ourselves; duplicates are byte-identical anyway.
+                if (claims->tryAcquire(task.key)) {
+                    if (!probePeer(task))
+                        simulateTask(task);
+                    else
+                        claims->release(task.key);
+                    waiting = false;
+                }
+                break;
+              case ShardClaims::State::Stale:
+                if (claims->breakStale(task.key)) {
+                    if (!probePeer(task))
+                        simulateTask(task);
+                    else
+                        claims->release(task.key);
+                    waiting = false;
+                }
+                break;
+              case ShardClaims::State::Active:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                break;
+            }
+        }
+    }
+
     // Merge per-task outcomes in row order: totals are independent of
     // the workers' completion order.
     for (const SweepTask &task : tasks) {
         sweep_status.simulated += task.simulated;
+        sweep_status.fromPeers += task.fromPeers;
         sweep_status.retried += task.retried;
         sweep_status.skipped += task.skipped;
     }

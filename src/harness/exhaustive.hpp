@@ -85,6 +85,7 @@ struct SweepStatus
     std::size_t combos = 0;     ///< Combinations requested.
     std::size_t fromCache = 0;  ///< Resumed from the disk cache.
     std::size_t simulated = 0;  ///< Freshly simulated (and persisted).
+    std::size_t fromPeers = 0;  ///< Filled by a cooperating process.
     std::size_t retried = 0;    ///< Extra attempts after failures.
     std::size_t skipped = 0;    ///< Dropped after exhausting retries.
 
@@ -94,6 +95,7 @@ struct SweepStatus
         combos += other.combos;
         fromCache += other.fromCache;
         simulated += other.simulated;
+        fromPeers += other.fromPeers;
         retried += other.retried;
         skipped += other.skipped;
     }
@@ -138,6 +140,14 @@ class Exhaustive
      * aborting the whole sweep. Injected run-failure schedules are
      * pre-drawn serially in row order at dispatch, so retry/skip
      * accounting is also identical at any job count.
+     *
+     * With EBM_SWEEP_SHARD=1, N processes sharing the store split a
+     * cold sweep through the shard-claim protocol (shard_claim.hpp):
+     * each worker claims a row before simulating it, rows claimed
+     * elsewhere are assembled from the shared store in odometer
+     * order, and a killed peer's rows are reclaimed after its claims
+     * go stale — the table, fault accounting, and compacted store
+     * bytes stay identical at any (process x EBM_JOBS) combination.
      *
      * @param levels TLP ladder per app; empty = the standard ladder
      */

@@ -50,6 +50,17 @@ Experiment::Experiment(std::uint32_t num_apps,
 {
 }
 
+Experiment::~Experiment()
+{
+    // Fold in everything cooperating processes appended, then rewrite
+    // sorted: every process that finishes a shared sweep leaves the
+    // same canonical bytes, whichever one exits last.
+    if (envFlag("EBM_CACHE_COMPACT", false)) {
+        cache_.refresh();
+        cache_.compact();
+    }
+}
+
 void
 Experiment::setJobs(std::uint32_t jobs)
 {

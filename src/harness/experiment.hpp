@@ -42,6 +42,13 @@ class Experiment
     explicit Experiment(std::uint32_t num_apps = 2,
                         const std::string &cache_path = "");
 
+    /**
+     * With EBM_CACHE_COMPACT=1, compacts the result store on exit so
+     * a finished bench leaves the sorted canonical bytes behind —
+     * what the cross-process CI job byte-compares across runs.
+     */
+    ~Experiment();
+
     Runner &runner() { return runner_; }
     ProfileDb &profiles() { return profiles_; }
     Exhaustive &exhaustive() { return exhaustive_; }

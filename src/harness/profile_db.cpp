@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/cost_model.hpp"
+#include "harness/shard_claim.hpp"
 
 namespace ebm {
 
@@ -32,13 +36,22 @@ ProfileDb::profile(const AppProfile &app)
     prof.levels = GpuConfig::tlpLevels();
     prof.perLevel.resize(prof.levels.size());
 
+    // Cross-process sharding (EBM_SWEEP_SHARD): levels are claimed at
+    // dispatch like sweep rows. An armed fault injector keeps the
+    // pass serial *and* unsharded — its query order is part of the
+    // documented fault schedule and must not depend on which process
+    // wins a claim.
+    std::optional<ShardClaims> claims;
+    if (ShardClaims::shardingEnabled() &&
+        runner_.options().faultInjector == nullptr)
+        claims.emplace(cache_.path());
+
     // Serial pass in level order: cache probes (and their warnings)
     // happen in the same order at any job count; misses become tasks.
     std::vector<std::size_t> misses;
     std::vector<std::string> keys(prof.levels.size());
     for (std::size_t i = 0; i < prof.levels.size(); ++i) {
-        keys[i] = "alone/" + runner_.fingerprint() + "/" + app.name +
-                  "/" + std::to_string(prof.levels[i]);
+        keys[i] = runner_.aloneKey(app.name, prof.levels[i]);
         // A wrong-shape or non-finite entry is treated as a miss
         // (recompute), not a crash: the cache is an accelerator,
         // never a point of failure.
@@ -59,7 +72,7 @@ ProfileDb::profile(const AppProfile &app)
     // order is part of the documented fault schedule.
     const Cycle run_cycles = runner_.options().warmupCycles +
                              runner_.options().measureCycles;
-    auto runLevel = [&](std::size_t i) {
+    auto simulateLevel = [&](std::size_t i) {
         const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = runner_.runAlone(app, prof.levels[i]);
         const std::chrono::duration<double> dt =
@@ -70,6 +83,51 @@ ProfileDb::profile(const AppProfile &app)
         cache_.put(keys[i],
                    {stats.ipc, stats.bw, stats.l1Mr, stats.l2Mr});
         prof.perLevel[i] = stats;
+        if (claims) {
+            // Group commit may return before the covering batch
+            // lands; peers read "claim gone" as "result durable".
+            cache_.sync();
+            claims->release(keys[i]);
+        }
+    };
+
+    // Fold in a level a cooperating process finished since our probe
+    // pass (its claim is already released, so only the store can tell
+    // "done" from "never started").
+    auto probePeer = [&](std::size_t i) {
+        cache_.refresh();
+        const auto v = cache_.getValidated(keys[i], 4);
+        if (!v)
+            return false;
+        prof.perLevel[i].ipc = (*v)[0];
+        prof.perLevel[i].bw = (*v)[1];
+        prof.perLevel[i].l1Mr = (*v)[2];
+        prof.perLevel[i].l2Mr = (*v)[3];
+        return true;
+    };
+
+    // Dispatch gate, as in Exhaustive::sweep: re-probe the store,
+    // claim the level right before simulating it, then re-probe once
+    // more (the owner may have released — result durable — between
+    // probe and acquisition); levels cooperating processes still hold
+    // are assembled from the shared store afterwards.
+    std::vector<std::size_t> deferred;
+    std::mutex deferred_mu;
+    auto runLevel = [&](std::size_t i) {
+        if (claims) {
+            if (probePeer(i))
+                return;
+            if (!claims->tryAcquire(keys[i])) {
+                std::lock_guard<std::mutex> lk(deferred_mu);
+                deferred.push_back(i);
+                return;
+            }
+            if (probePeer(i)) {
+                claims->release(keys[i]);
+                return;
+            }
+        }
+        simulateLevel(i);
     };
 
     // Longest-expected-first submission, exactly like
@@ -103,6 +161,48 @@ ProfileDb::profile(const AppProfile &app)
         for (const std::size_t m : order)
             pool.submit([&runLevel, i = misses[m]] { runLevel(i); });
         pool.wait();
+    }
+
+    // Wait phase (sharding only), in level order: a finished peer's
+    // result appears on refresh(), a killed peer's claim goes stale
+    // and is taken over. Alone runs have no skip path — a failure
+    // throws — so there is no skip marker to replicate here.
+    std::sort(deferred.begin(), deferred.end());
+    for (const std::size_t i : deferred) {
+        for (bool waiting = true; waiting;) {
+            cache_.refresh();
+            if (const auto v = cache_.getValidated(keys[i], 4)) {
+                prof.perLevel[i].ipc = (*v)[0];
+                prof.perLevel[i].bw = (*v)[1];
+                prof.perLevel[i].l1Mr = (*v)[2];
+                prof.perLevel[i].l2Mr = (*v)[3];
+                break;
+            }
+            switch (claims->peek(keys[i])) {
+              case ShardClaims::State::Absent:
+                if (claims->tryAcquire(keys[i])) {
+                    if (!probePeer(i))
+                        simulateLevel(i);
+                    else
+                        claims->release(keys[i]);
+                    waiting = false;
+                }
+                break;
+              case ShardClaims::State::Stale:
+                if (claims->breakStale(keys[i])) {
+                    if (!probePeer(i))
+                        simulateLevel(i);
+                    else
+                        claims->release(keys[i]);
+                    waiting = false;
+                }
+                break;
+              default:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                break;
+            }
+        }
     }
 
     std::size_t best = 0;

@@ -223,4 +223,27 @@ Runner::fingerprint() const
     return out.str();
 }
 
+std::string
+Runner::comboKey(const std::string &wl_name, const TlpCombo &combo) const
+{
+    // Built with += (not operator+ on a temporary) to dodge GCC 12's
+    // false-positive -Wrestrict on char* + string&&.
+    std::string key = "combo/";
+    key += fingerprint();
+    key += '/';
+    key += wl_name;
+    for (const std::uint32_t t : combo) {
+        key += '/';
+        key += std::to_string(t);
+    }
+    return key;
+}
+
+std::string
+Runner::aloneKey(const std::string &app_name, std::uint32_t tlp) const
+{
+    return "alone/" + fingerprint() + "/" + app_name + "/" +
+           std::to_string(tlp);
+}
+
 } // namespace ebm

@@ -55,6 +55,18 @@ class Runner
      */
     std::string fingerprint() const;
 
+    /**
+     * Disk-cache key for one shared-run combination row of @p wl_name.
+     * The single definition Exhaustive, the shard-claim protocol, and
+     * tests all share, so a key drift can never split the store.
+     */
+    std::string comboKey(const std::string &wl_name,
+                         const TlpCombo &combo) const;
+
+    /** Disk-cache key for one alone-profile ladder level. */
+    std::string aloneKey(const std::string &app_name,
+                         std::uint32_t tlp) const;
+
   private:
     GpuConfig cfg_;
     RunOptions opts_;

@@ -1,0 +1,177 @@
+#include "harness/shard_claim.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace ebm {
+
+namespace {
+
+/** FNV-1a over the key bytes, as hex: the claim filename stem. */
+std::string
+keyFingerprint(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/** Milliseconds since @p path's mtime; negative on stat failure. */
+long long
+ageMs(const std::string &path)
+{
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    struct timespec now = {};
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    const long long ns =
+        (now.tv_sec - st.st_mtim.tv_sec) * 1000000000ll +
+        (now.tv_nsec - st.st_mtim.tv_nsec);
+    return ns / 1000000ll;
+}
+
+bool
+isFresh(const std::string &path)
+{
+    const long long age = ageMs(path);
+    return age >= 0 &&
+           age <= ShardClaims::staleThreshold().count();
+}
+
+} // namespace
+
+bool
+ShardClaims::shardingEnabled()
+{
+    return envFlag("EBM_SWEEP_SHARD", false);
+}
+
+std::chrono::milliseconds
+ShardClaims::staleThreshold()
+{
+    return std::chrono::milliseconds(
+        envUint("EBM_CLAIM_STALE_MS", 10000, 1, 3600000));
+}
+
+ShardClaims::ShardClaims(const std::string &store_path)
+    : dir_(store_path + ".claims")
+{
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        warn("ShardClaims: cannot create " + dir_ +
+             "; sweep sharding degrades to duplicate computes");
+}
+
+std::string
+ShardClaims::claimPath(const std::string &key) const
+{
+    return dir_ + "/" + keyFingerprint(key) + ".claim";
+}
+
+std::string
+ShardClaims::skipPath(const std::string &key) const
+{
+    return dir_ + "/" + keyFingerprint(key) + ".skip";
+}
+
+bool
+ShardClaims::tryAcquire(const std::string &key)
+{
+    if (isSkipped(key))
+        return false;
+    const int fd = ::open(claimPath(key).c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false; // EEXIST (someone owns it) or unwritable dir.
+    // Owner identity, for humans inspecting a stuck sweep.
+    const std::string who = std::to_string(::getpid()) + "\n";
+    (void)!::write(fd, who.data(), who.size());
+    ::close(fd);
+    return true;
+}
+
+void
+ShardClaims::heartbeat(const std::string &key)
+{
+    // Bumping mtime is the liveness signal peers poll.
+    (void)::utimensat(AT_FDCWD, claimPath(key).c_str(), nullptr, 0);
+}
+
+void
+ShardClaims::release(const std::string &key)
+{
+    (void)::unlink(claimPath(key).c_str());
+}
+
+void
+ShardClaims::markSkipped(const std::string &key)
+{
+    // Marker first, claim second: a waiter that sees the claim vanish
+    // must already be able to see why.
+    const int fd = ::open(skipPath(key).c_str(),
+                          O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0)
+        ::close(fd);
+    release(key);
+}
+
+bool
+ShardClaims::isSkipped(const std::string &key) const
+{
+    const std::string path = skipPath(key);
+    const long long age = ageMs(path);
+    if (age < 0)
+        return false;
+    if (age > staleThreshold().count()) {
+        // Expired marker from an old sweep: remove it so this (and
+        // every future) sweep retries the row, matching the
+        // single-process policy of never persisting a failure.
+        (void)::unlink(path.c_str());
+        return false;
+    }
+    return true;
+}
+
+ShardClaims::State
+ShardClaims::peek(const std::string &key) const
+{
+    if (isSkipped(key))
+        return State::Skipped;
+    const long long age = ageMs(claimPath(key));
+    if (age < 0)
+        return State::Absent;
+    return age > staleThreshold().count() ? State::Stale
+                                          : State::Active;
+}
+
+bool
+ShardClaims::breakStale(const std::string &key)
+{
+    // Confirm staleness immediately before unlinking to narrow the
+    // race with a slow-but-alive owner; if two waiters both break the
+    // same claim, both compute the row — deterministic simulation and
+    // the last-wins store make the duplicate harmless.
+    const std::string path = claimPath(key);
+    if (isFresh(path))
+        return false;
+    if (ageMs(path) < 0)
+        return false; // Vanished: owner finished after all.
+    (void)::unlink(path.c_str());
+    return tryAcquire(key);
+}
+
+} // namespace ebm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cross-process sweep sharding: a claim protocol that lets N
+ * cooperating processes fill one cold exhaustive sweep through a
+ * shared DiskCache, each row simulated (ideally) once.
+ *
+ * A claim is a file `<store>.claims/<keyfp>.claim` created with
+ * `O_CREAT|O_EXCL` — the atomic filesystem primitive — where keyfp is
+ * a hash of the full cache key (which already embeds the runner
+ * fingerprint, so distinct configs never contend). The owner
+ * heartbeats the claim's mtime once per run attempt; a claim whose
+ * mtime is older than EBM_CLAIM_STALE_MS belongs to a killed worker
+ * and may be broken and taken over. A row whose retries are exhausted
+ * is marked with a durable `<keyfp>.skip` sidecar so every waiting
+ * process replicates the skip instead of polling forever; skip
+ * markers expire after the same staleness window, so the next sweep
+ * retries the row (matching the single-process behavior of never
+ * persisting a failed combination).
+ *
+ * The protocol is an *optimization*, never a correctness dependency:
+ * simulation is deterministic, the store is last-wins, and compaction
+ * sorts by key — so if two processes ever compute the same row (the
+ * unavoidable take-over race), they append byte-identical values and
+ * the table, accounting, and compacted store are unchanged.
+ *
+ * Sharding is off by default; EBM_SWEEP_SHARD=1 enables it (the
+ * processes must share EBM_CACHE_DIR, or at least the store path).
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ebm {
+
+/** Claim files for one result store. */
+class ShardClaims
+{
+  public:
+    /** A waiter's view of another process's claim on a key. */
+    enum class State : std::uint8_t {
+        Absent,  ///< No claim (result durable, or owner takeover race).
+        Active,  ///< A live owner is computing the row.
+        Stale,   ///< The owner stopped heartbeating: take over.
+        Skipped, ///< The owner exhausted retries: replicate the skip.
+    };
+
+    /** Master switch: EBM_SWEEP_SHARD (default off). */
+    static bool shardingEnabled();
+
+    /** Liveness window: EBM_CLAIM_STALE_MS (default 10000). */
+    static std::chrono::milliseconds staleThreshold();
+
+    /** Claims for the store at @p store_path live in
+     * `<store_path>.claims/` (created here if missing). */
+    explicit ShardClaims(const std::string &store_path);
+
+    /** Atomically claim @p key. @return true = this process owns the
+     * row and must compute it; false = someone else holds it (or a
+     * fresh skip marker exists). */
+    bool tryAcquire(const std::string &key);
+
+    /** Bump the owned claim's liveness timestamp (call once per run
+     * attempt so long rows with retries never look stale). */
+    void heartbeat(const std::string &key);
+
+    /** The row's result is durable in the store: drop the claim so
+     * waiters fall through to the store. Call only after put(). */
+    void release(const std::string &key);
+
+    /** Retries exhausted: write the durable skip marker, then drop
+     * the claim, so every waiting process skips the row too. */
+    void markSkipped(const std::string &key);
+
+    /** Is a fresh skip marker present for @p key? */
+    bool isSkipped(const std::string &key) const;
+
+    /** Poll another process's claim on @p key. */
+    State peek(const std::string &key) const;
+
+    /** Take over a stale claim: re-checks staleness, unlinks, then
+     * re-acquires. @return true = this process owns the row now. */
+    bool breakStale(const std::string &key);
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string claimPath(const std::string &key) const;
+    std::string skipPath(const std::string &key) const;
+
+    std::string dir_;
+};
+
+} // namespace ebm

@@ -91,22 +91,25 @@ Gpu::tick()
             if (xbar_.responseNet().canAccept(p, resp.core)) {
                 xbar_.responseNet().inject(p, resp.core, resp);
             } else {
-                holdover_.push_back(resp);
+                holdover_.push_back({resp, p});
             }
         }
     }
 
-    // Retry responses that found the network full last cycle.
+    // Retry responses that found the network full last cycle. The
+    // port was captured when the response was first held over — it is
+    // a pure function of the line address, so recomputing it through
+    // the address map every retry cycle bought nothing.
     if (!holdover_.empty()) {
         holdoverScratch_.clear();
-        for (const MemResponse &resp : holdover_) {
-            // The partition of origin no longer matters for retry
-            // fairness at this scale; use core-hash for the port.
-            const PartitionId p = amap_.partitionOf(resp.lineAddr);
-            if (xbar_.responseNet().canAccept(p, resp.core))
-                xbar_.responseNet().inject(p, resp.core, resp);
-            else
-                holdoverScratch_.push_back(resp);
+        for (const HeldResponse &held : holdover_) {
+            if (xbar_.responseNet().canAccept(held.port,
+                                              held.resp.core)) {
+                xbar_.responseNet().inject(held.port, held.resp.core,
+                                           held.resp);
+            } else {
+                holdoverScratch_.push_back(held);
+            }
         }
         holdover_.swap(holdoverScratch_);
     }

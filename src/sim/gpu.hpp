@@ -187,10 +187,18 @@ class Gpu
     Crossbar xbar_;
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     std::vector<MemResponse> respScratch_;
+    /** A held-over response plus its response-network input port,
+     * captured at origin so retries never recompute the address
+     * mapping (the port is a pure function of the line address). */
+    struct HeldResponse
+    {
+        MemResponse resp;
+        PartitionId port;
+    };
     /** Responses blocked by response-network back-pressure. */
-    std::vector<MemResponse> holdover_;
+    std::vector<HeldResponse> holdover_;
     /** Swap partner of holdover_ (no per-cycle vector allocation). */
-    std::vector<MemResponse> holdoverScratch_;
+    std::vector<HeldResponse> holdoverScratch_;
     bool fastForward_ = true;
     std::uint64_t fastForwardedCycles_ = 0;
 };

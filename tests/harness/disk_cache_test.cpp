@@ -1,6 +1,11 @@
 #include "harness/disk_cache.hpp"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -8,9 +13,43 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
+#include "common/rng.hpp"
 
 namespace ebm {
 namespace {
+
+/** Slurp a file's raw bytes. */
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The v2 text checksum (mirrors the store's private algorithm). */
+std::uint64_t
+v2Checksum(const std::string &key, const std::vector<double> &values)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    for (const double v : values)
+        h = hashIds(h, std::bit_cast<std::uint64_t>(v));
+    return h;
+}
+
+std::string
+toHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
 
 class DiskCacheTest : public ::testing::Test
 {
@@ -112,45 +151,48 @@ TEST_F(DiskCacheTest, ReservedCharacterInKeyIsFatal)
     EXPECT_EBM_FATAL(cache.put("", {1.0}), "empty key");
 }
 
-TEST_F(DiskCacheTest, FileStartsWithVersionHeader)
+TEST_F(DiskCacheTest, FileStartsWithBinaryHeader)
 {
     {
         DiskCache cache(path_);
         cache.put("k", {1.0});
     }
-    std::ifstream in(path_);
-    std::string first;
-    std::getline(in, first);
-    EXPECT_EQ(first,
-              "ebmcache v2 " + DiskCache::machineFingerprint());
+    const std::string bytes = slurpFile(path_);
+    ASSERT_GE(bytes.size(), 64u);
+    EXPECT_EQ(bytes.substr(0, 8), "EBMCBIN3");
+    // The machine fingerprint sits in the header's fixed field.
+    EXPECT_EQ(bytes.find(DiskCache::machineFingerprint()), 16u);
 }
 
-TEST_F(DiskCacheTest, TruncatedLastLineIsSkippedAndRecomputable)
+TEST_F(DiskCacheTest, TornTailTruncatesInsteadOfQuarantining)
 {
     {
         DiskCache cache(path_);
         cache.put("good", {1.0, 2.0});
         cache.put("torn", {3.0, 4.0});
     }
-    // Chop the file mid-line, as a killed writer would leave it.
-    std::string content;
+    // Chop the file mid-frame, as a killed writer would leave it.
+    // Entries append in put order, so "torn" holds the tail frame.
+    const std::string content = slurpFile(path_);
     {
-        std::ifstream in(path_);
-        std::stringstream ss;
-        ss << in.rdbuf();
-        content = ss.str();
-    }
-    {
-        std::ofstream out(path_, std::ios::trunc);
+        std::ofstream out(path_, std::ios::trunc | std::ios::binary);
         out << content.substr(0, content.size() - 9);
     }
     DiskCache reopened(path_);
     EXPECT_EQ(reopened.size(), 1u);
     EXPECT_EQ(reopened.loadReport().entriesSkipped, 1u);
-    // Keys persist sorted, so "torn" was the (damaged) last line: it
-    // reads as a miss and the caller recomputes; "good" survives.
+    EXPECT_TRUE(reopened.loadReport().tornTailTruncated);
+    // The tail was chopped, not the world: no quarantine, the intact
+    // prefix survives, and the torn entry reads as a miss.
+    EXPECT_FALSE(reopened.loadReport().quarantined);
     EXPECT_TRUE(reopened.get("good").has_value());
     EXPECT_FALSE(reopened.get("torn").has_value());
+
+    // The truncation is durable: the next open is perfectly clean.
+    DiskCache clean(path_);
+    EXPECT_EQ(clean.size(), 1u);
+    EXPECT_EQ(clean.loadReport().entriesSkipped, 0u);
+    EXPECT_FALSE(clean.loadReport().tornTailTruncated);
 }
 
 TEST_F(DiskCacheTest, GarbageFloatsFailChecksumAndAreSkipped)
@@ -171,31 +213,60 @@ TEST_F(DiskCacheTest, GarbageFloatsFailChecksumAndAreSkipped)
     EXPECT_TRUE(cache.get("fresh").has_value());
 }
 
-TEST_F(DiskCacheTest, FlippedBitFailsChecksum)
+TEST_F(DiskCacheTest, FlippedBitMidFileFailsChecksumAndQuarantines)
 {
     {
         DiskCache cache(path_);
-        cache.put("key", {1.25});
+        cache.put("first", {1.25});
+        cache.put("second", {2.5});
     }
-    std::string content;
-    {
-        std::ifstream in(path_);
-        std::stringstream ss;
-        ss << in.rdbuf();
-        content = ss.str();
-    }
-    // Corrupt the value digits ("1.25" -> "9.25"): the checksum in
-    // the line no longer matches.
-    const auto pos = content.rfind("1.25");
+    std::string content = slurpFile(path_);
+    // Corrupt a raw value byte of the *first* frame: damage before
+    // the tail can never be a torn append, so the whole file is
+    // suspect and gets quarantined (v2 contract, frame-by-frame).
+    const double v = 1.25;
+    std::string needle(sizeof v, '\0');
+    std::memcpy(needle.data(), &v, sizeof v);
+    const auto pos = content.find(needle);
     ASSERT_NE(pos, std::string::npos);
-    content[pos] = '9';
+    content[pos] ^= 0x40;
     {
-        std::ofstream out(path_, std::ios::trunc);
+        std::ofstream out(path_, std::ios::trunc | std::ios::binary);
         out << content;
     }
     DiskCache reopened(path_);
-    EXPECT_FALSE(reopened.get("key").has_value());
+    EXPECT_FALSE(reopened.get("first").has_value());
     EXPECT_EQ(reopened.loadReport().entriesSkipped, 1u);
+    EXPECT_TRUE(reopened.loadReport().quarantined);
+    EXPECT_FALSE(reopened.loadReport().tornTailTruncated);
+    std::remove(reopened.loadReport().quarantinePath.c_str());
+}
+
+TEST_F(DiskCacheTest, FlippedBitInTailFrameTruncatesOnly)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("first", {1.25});
+        cache.put("second", {2.5});
+    }
+    std::string content = slurpFile(path_);
+    // A garbled byte in the *final* frame is indistinguishable from a
+    // cut tail write: the store chops it and keeps the prefix.
+    const double v = 2.5;
+    std::string needle(sizeof v, '\0');
+    std::memcpy(needle.data(), &v, sizeof v);
+    const auto pos = content.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    content[pos] ^= 0x40;
+    {
+        std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+        out << content;
+    }
+    DiskCache reopened(path_);
+    EXPECT_TRUE(reopened.get("first").has_value());
+    EXPECT_FALSE(reopened.get("second").has_value());
+    EXPECT_TRUE(reopened.loadReport().tornTailTruncated);
+    EXPECT_FALSE(reopened.loadReport().quarantined);
 }
 
 TEST_F(DiskCacheTest, WrongVersionHeaderQuarantinesAndStartsFresh)
@@ -268,10 +339,180 @@ TEST_F(DiskCacheTest, LegacyV1FileIsMigrated)
     ASSERT_TRUE(cache.get("alone/BFS/4").has_value());
     EXPECT_EQ((*cache.get("alone/BFS/4"))[1], 0.25);
 
-    // The file on disk is now v2 and round-trips with checksums.
+    // The file on disk is now binary v3 and round-trips losslessly.
     DiskCache upgraded(path_);
     EXPECT_FALSE(upgraded.loadReport().migratedV1);
     EXPECT_EQ(upgraded.size(), 2u);
+    EXPECT_EQ(slurpFile(path_).substr(0, 8), "EBMCBIN3");
+}
+
+TEST_F(DiskCacheTest, V2TextFileIsMigratedToV3)
+{
+    const std::vector<double> a = {0.5, 0.25};
+    const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+    {
+        std::ofstream out(path_);
+        out << "ebmcache v2 " << DiskCache::machineFingerprint()
+            << '\n';
+        out.precision(17);
+        out << "alone/BFS/4|" << toHex(v2Checksum("alone/BFS/4", a))
+            << "| 0.5 0.25\n";
+        out << "combo/x/1/1|" << toHex(v2Checksum("combo/x/1/1", b))
+            << "| 1 2 3 4 5\n";
+    }
+    DiskCache cache(path_);
+    EXPECT_TRUE(cache.loadReport().migratedV2);
+    EXPECT_FALSE(cache.loadReport().quarantined);
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_TRUE(cache.get("combo/x/1/1").has_value());
+    EXPECT_EQ((*cache.get("combo/x/1/1"))[4], 5.0);
+
+    // The migrated file is binary v3, loads without another
+    // migration, and serves bit-identical doubles.
+    DiskCache upgraded(path_);
+    EXPECT_FALSE(upgraded.loadReport().migratedV2);
+    EXPECT_EQ(upgraded.size(), 2u);
+    EXPECT_EQ((*upgraded.get("alone/BFS/4"))[1], 0.25);
+    EXPECT_EQ(slurpFile(path_).substr(0, 8), "EBMCBIN3");
+}
+
+TEST_F(DiskCacheTest, BinaryHeaderFingerprintMismatchQuarantines)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("k", {1.0});
+    }
+    // Rewrite the header's fingerprint field: a foreign machine's
+    // bit patterns cannot be trusted, binary or not.
+    std::string content = slurpFile(path_);
+    ASSERT_GE(content.size(), 56u);
+    const std::string foreign = "vax-d128-be";
+    content.replace(16, foreign.size() + 1, foreign + '\0');
+    {
+        std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+        out << content;
+    }
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 0u);
+    EXPECT_TRUE(reopened.loadReport().quarantined);
+    std::remove(reopened.loadReport().quarantinePath.c_str());
+}
+
+TEST_F(DiskCacheTest, CompactionIsByteIdenticalForAnEntrySet)
+{
+    const std::string other = path_ + ".b";
+    {
+        // Same entries, opposite insertion order, different shard
+        // counts: the appended files differ...
+        DiskCache one(path_, nullptr, 4);
+        one.put("alpha", {1.0, 2.0});
+        one.put("beta", {3.0});
+        one.put("gamma", {});
+        DiskCache two(other, nullptr, 32);
+        two.put("gamma", {});
+        two.put("beta", {3.0});
+        two.put("alpha", {1.0, 2.0});
+        EXPECT_NE(slurpFile(path_), slurpFile(other));
+        // ...until compaction sorts by key: then the stores are
+        // byte-identical, and compacting again changes nothing.
+        EXPECT_TRUE(one.compact());
+        EXPECT_TRUE(two.compact());
+        const std::string bytes = slurpFile(path_);
+        EXPECT_EQ(bytes, slurpFile(other));
+        EXPECT_TRUE(one.compact());
+        EXPECT_EQ(bytes, slurpFile(path_));
+    }
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 3u);
+    EXPECT_EQ((*reopened.get("alpha"))[1], 2.0);
+    std::remove(other.c_str());
+    std::remove((other + ".tmp").c_str());
+}
+
+TEST_F(DiskCacheTest, RefreshFoldsInPeerAppends)
+{
+    DiskCache writer(path_);
+    DiskCache reader(path_);
+    EXPECT_EQ(reader.refresh(), 0u);
+
+    writer.put("row1", {1.0});
+    writer.put("row2", {2.0});
+    EXPECT_FALSE(reader.get("row1").has_value());
+    EXPECT_EQ(reader.refresh(), 2u);
+    EXPECT_EQ((*reader.get("row1"))[0], 1.0);
+    EXPECT_EQ((*reader.get("row2"))[0], 2.0);
+
+    // The scan cursor advances: nothing is merged twice, and the
+    // peers can take turns appending.
+    EXPECT_EQ(reader.refresh(), 0u);
+    reader.put("row3", {3.0});
+    EXPECT_EQ(writer.refresh(), 1u);
+    EXPECT_EQ((*writer.get("row3"))[0], 3.0);
+}
+
+TEST_F(DiskCacheTest, PersistCountersTrackAppendAmplification)
+{
+    DiskCache cache(path_);
+    EXPECT_EQ(cache.bytesWritten(), 0u);
+    cache.put("k1", {1.0});
+    cache.put("k2", {2.0});
+    cache.put("k3", {3.0});
+    // Serial puts: one batch each, and the bytes written are exactly
+    // the file size (header + three frames) — append-only I/O is
+    // O(new entries), never a rewrite of the whole store.
+    EXPECT_EQ(cache.appendBatches(), 3u);
+    EXPECT_EQ(cache.entriesAppended(), 3u);
+    EXPECT_EQ(cache.bytesWritten(), slurpFile(path_).size());
+    EXPECT_EQ(cache.loadReport().bytesWritten, cache.bytesWritten());
+}
+
+TEST_F(DiskCacheTest, ForkedWritersShareOneStoreUnderFlock)
+{
+    // The cross-process hammer: N forked children append disjoint
+    // keys to one store concurrently; flock serializes the appends
+    // and every frame survives.
+    constexpr int kWriters = 4;
+    constexpr int kKeysPer = 8;
+    std::vector<pid_t> kids;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: its own DiskCache instance on the shared path.
+            {
+                DiskCache mine(path_);
+                for (int k = 0; k < kKeysPer; ++k) {
+                    mine.put("w" + std::to_string(w) + "/k" +
+                                 std::to_string(k),
+                             {static_cast<double>(w),
+                              static_cast<double>(k)});
+                }
+            }
+            ::_exit(0);
+        }
+        kids.push_back(pid);
+    }
+    for (const pid_t pid : kids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    DiskCache merged(path_);
+    EXPECT_EQ(merged.size(),
+              static_cast<std::size_t>(kWriters * kKeysPer));
+    EXPECT_EQ(merged.loadReport().entriesSkipped, 0u);
+    EXPECT_FALSE(merged.loadReport().quarantined);
+    for (int w = 0; w < kWriters; ++w) {
+        for (int k = 0; k < kKeysPer; ++k) {
+            const auto v = merged.get("w" + std::to_string(w) + "/k" +
+                                      std::to_string(k));
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ((*v)[0], static_cast<double>(w));
+            EXPECT_EQ((*v)[1], static_cast<double>(k));
+        }
+    }
 }
 
 TEST_F(DiskCacheTest, GetValidatedRejectsWrongShape)

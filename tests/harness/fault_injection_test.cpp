@@ -74,9 +74,10 @@ driveInjected(Gpu &gpu, TlpPolicy &policy, FaultInjector *fi,
 }
 
 /**
- * Acceptance scenario 1: a cache file torn mid-line (killed writer)
- * is quarantined on load, the lost combinations are recomputed, and
- * the final figures are identical to the undamaged sweep.
+ * Acceptance scenario 1: a cache file torn mid-frame (killed writer)
+ * is truncated back to the last valid frame on load — not quarantined
+ * wholesale — the lost combinations are recomputed, and the final
+ * figures are identical to the undamaged sweep.
  */
 TEST_F(FaultInjectionTest, CorruptCacheQuarantinesRecomputesIdentical)
 {
@@ -91,23 +92,26 @@ TEST_F(FaultInjectionTest, CorruptCacheQuarantinesRecomputesIdentical)
         ASSERT_EQ(ex.status().simulated, 4u);
     }
 
-    // Tear the file mid-line, as a crash during persist would.
+    // Tear the file mid-frame, as a crash during persist would.
     std::string content;
     {
-        std::ifstream in(cache_path_);
+        std::ifstream in(cache_path_, std::ios::binary);
         std::stringstream ss;
         ss << in.rdbuf();
         content = ss.str();
     }
     {
-        std::ofstream out(cache_path_, std::ios::trunc);
+        std::ofstream out(cache_path_,
+                          std::ios::trunc | std::ios::binary);
         out << content.substr(0, content.size() * 2 / 3);
     }
 
     const int rc = runGuarded("resweep", [&]() -> int {
         DiskCache cache(cache_path_);
         EXPECT_GE(cache.loadReport().entriesSkipped, 1u);
-        EXPECT_TRUE(cache.loadReport().quarantined);
+        EXPECT_TRUE(cache.loadReport().tornTailTruncated);
+        EXPECT_FALSE(cache.loadReport().quarantined)
+            << "a torn tail must not quarantine the valid prefix";
 
         Exhaustive ex(runner, cache);
         const ComboTable recovered = ex.sweep(wl, {1, 4});

@@ -293,8 +293,8 @@ TEST_F(GpuPoolTest, InjectedRunFailPoisonsInstanceAndRetryMatchesFresh)
 
 /**
  * End to end through the sweep engine: a cold sweep with pooling on
- * must produce the same table and the byte-identical cache file as
- * one with pooling off.
+ * must produce the same table and the byte-identical compacted cache
+ * file as one with pooling off.
  */
 TEST_F(GpuPoolTest, ColdSweepIsByteIdenticalPoolingOnVsOff)
 {
@@ -312,7 +312,9 @@ TEST_F(GpuPoolTest, ColdSweepIsByteIdenticalPoolingOnVsOff)
         DiskCache cache(path);
         Exhaustive ex(runner, cache);
         ex.setJobs(2);
-        return ex.sweep(wl, ladder);
+        const ComboTable t = ex.sweep(wl, ladder);
+        EXPECT_TRUE(cache.compact());
+        return t;
     };
 
     const ComboTable on = sweepTo(on_path);

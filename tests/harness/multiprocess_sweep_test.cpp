@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Cross-process sweep sharding: the ShardClaims protocol in isolation,
+ * the deferred-row wait phase driven single-process (skip replication,
+ * stale-claim takeover), and the full acceptance scenario — N forked
+ * processes cooperatively filling one cold sweep through a shared
+ * store, each producing the bit-identical table, with the compacted
+ * store byte-identical to a single-process run.
+ *
+ * The forked suites run in their own binary: fork()/waitpid()
+ * orchestration should never share a process with unrelated tests.
+ */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "common/fault_injector.hpp"
+#include "harness/disk_cache.hpp"
+#include "harness/exhaustive.hpp"
+#include "harness/shard_claim.hpp"
+
+namespace ebm {
+namespace {
+
+using Point = FaultInjector::Point;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Set an environment variable for one scope (restored on exit). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Remove a flat directory (claim dirs hold no subdirectories). */
+void
+removeDirTree(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d != nullptr) {
+        while (struct dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name != "." && name != "..")
+                std::remove((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+/** Bitwise table equality (the cross-process identity contract). */
+bool
+tablesBitIdentical(const ComboTable &a, const ComboTable &b)
+{
+    if (a.combos != b.combos || a.levels != b.levels ||
+        a.skipped != b.skipped)
+        return false;
+    for (std::size_t row = 0; row < a.results.size(); ++row) {
+        const RunResult &x = a.results[row];
+        const RunResult &y = b.results[row];
+        if (x.apps.size() != y.apps.size() ||
+            x.measuredCycles != y.measuredCycles ||
+            x.finalTlp != y.finalTlp)
+            return false;
+        if (std::memcmp(&x.totalBw, &y.totalBw, sizeof(double)) != 0)
+            return false;
+        for (std::size_t i = 0; i < x.apps.size(); ++i) {
+            if (std::memcmp(&x.apps[i].ipc, &y.apps[i].ipc,
+                            sizeof(double)) != 0 ||
+                std::memcmp(&x.apps[i].bw, &y.apps[i].bw,
+                            sizeof(double)) != 0 ||
+                std::memcmp(&x.apps[i].l1Mr, &y.apps[i].l1Mr,
+                            sizeof(double)) != 0 ||
+                std::memcmp(&x.apps[i].l2Mr, &y.apps[i].l2Mr,
+                            sizeof(double)) != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+class MultiprocessSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        stem_ = ::testing::TempDir() + "ebm_mp_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name();
+        ref_path_ = stem_ + "_ref.cache";
+        shared_path_ = stem_ + "_shared.cache";
+        removeAll();
+    }
+
+    void TearDown() override { removeAll(); }
+
+    void
+    removeAll()
+    {
+        for (const std::string &p : {ref_path_, shared_path_}) {
+            std::remove(p.c_str());
+            std::remove((p + ".quarantined").c_str());
+            std::remove((p + ".tmp").c_str());
+            removeDirTree(p + ".claims");
+        }
+        for (int i = 0; i < 8; ++i)
+            std::remove(statusPath(i).c_str());
+    }
+
+    std::string
+    statusPath(int child) const
+    {
+        return stem_ + ".status." + std::to_string(child);
+    }
+
+    std::string stem_;
+    std::string ref_path_;
+    std::string shared_path_;
+};
+
+// ---------------------------------------------------------------------
+// ShardClaims protocol units.
+// ---------------------------------------------------------------------
+
+TEST_F(MultiprocessSweepTest, ClaimIsExclusiveUntilReleased)
+{
+    ShardClaims claims(shared_path_);
+    EXPECT_EQ(claims.peek("row"), ShardClaims::State::Absent);
+    EXPECT_TRUE(claims.tryAcquire("row"));
+    EXPECT_FALSE(claims.tryAcquire("row")) << "claims are exclusive";
+    EXPECT_EQ(claims.peek("row"), ShardClaims::State::Active);
+
+    // A second ShardClaims on the same store (another process's view)
+    // contends for the same files.
+    ShardClaims peer(shared_path_);
+    EXPECT_FALSE(peer.tryAcquire("row"));
+    EXPECT_EQ(peer.peek("row"), ShardClaims::State::Active);
+
+    claims.release("row");
+    EXPECT_EQ(peer.peek("row"), ShardClaims::State::Absent);
+    EXPECT_TRUE(peer.tryAcquire("row"));
+    peer.release("row");
+}
+
+TEST_F(MultiprocessSweepTest, DistinctKeysNeverContend)
+{
+    ShardClaims claims(shared_path_);
+    EXPECT_TRUE(claims.tryAcquire("row/a"));
+    EXPECT_TRUE(claims.tryAcquire("row/b"));
+    claims.release("row/a");
+    claims.release("row/b");
+}
+
+TEST_F(MultiprocessSweepTest, SkipMarkerIsDurableAndExpires)
+{
+    ShardClaims claims(shared_path_);
+    ASSERT_TRUE(claims.tryAcquire("row"));
+    claims.markSkipped("row");
+
+    // The marker outlives the claim and blocks re-acquisition: every
+    // cooperating process replicates the skip.
+    EXPECT_EQ(claims.peek("row"), ShardClaims::State::Skipped);
+    EXPECT_TRUE(claims.isSkipped("row"));
+    EXPECT_FALSE(claims.tryAcquire("row"));
+
+    // Past the staleness window the marker expires and is removed, so
+    // the next sweep retries the row (single-process semantics: a
+    // failed combination is never persisted).
+    {
+        ScopedEnv stale("EBM_CLAIM_STALE_MS", "1");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        EXPECT_FALSE(claims.isSkipped("row"));
+        EXPECT_EQ(claims.peek("row"), ShardClaims::State::Absent);
+        EXPECT_TRUE(claims.tryAcquire("row"));
+        claims.release("row");
+    }
+}
+
+TEST_F(MultiprocessSweepTest, StaleClaimIsBrokenAndTakenOver)
+{
+    ShardClaims owner(shared_path_);
+    ASSERT_TRUE(owner.tryAcquire("row"));
+
+    ShardClaims waiter(shared_path_);
+    {
+        // A window comfortably wider than any single check below, so
+        // "fresh" observations never race the clock — but short
+        // enough that waiting it out keeps the test quick.
+        ScopedEnv stale("EBM_CLAIM_STALE_MS", "250");
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        EXPECT_EQ(waiter.peek("row"), ShardClaims::State::Stale);
+
+        // A heartbeat revives the claim...
+        owner.heartbeat("row");
+        EXPECT_EQ(waiter.peek("row"), ShardClaims::State::Active);
+        EXPECT_FALSE(waiter.breakStale("row"))
+            << "a fresh claim must never be broken";
+
+        // ...and silence lets the waiter take over.
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        EXPECT_TRUE(waiter.breakStale("row"));
+        EXPECT_EQ(owner.peek("row"), ShardClaims::State::Active);
+        waiter.release("row");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wait-phase behavior, driven deterministically in one process.
+// ---------------------------------------------------------------------
+
+/**
+ * A peer's durable skip marker is replicated: the sharded sweep
+ * defers the claimed row, sees the marker, and records the same
+ * skipped row a single process would after exhausting retries.
+ */
+TEST_F(MultiprocessSweepTest, PeerSkipMarkerIsReplicated)
+{
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    const Workload wl = makePair("BLK", "TRD");
+
+    ShardClaims peer(shared_path_);
+    const std::string key = runner.comboKey(wl.name, {4, 1});
+    ASSERT_TRUE(peer.tryAcquire(key));
+    peer.markSkipped(key);
+
+    ScopedEnv shard("EBM_SWEEP_SHARD", "1");
+    DiskCache cache(shared_path_);
+    Exhaustive ex(runner, cache);
+    ex.setJobs(1);
+    const ComboTable table = ex.sweep(wl, {1, 4});
+
+    EXPECT_EQ(ex.status().simulated, 3u);
+    EXPECT_EQ(ex.status().skipped, 1u);
+    EXPECT_EQ(ex.status().fromPeers, 0u);
+    ASSERT_EQ(table.combos.size(), 4u);
+    for (std::size_t row = 0; row < table.combos.size(); ++row) {
+        EXPECT_EQ(table.isSkipped(row),
+                  table.combos[row] == TlpCombo({4, 1}))
+            << "row " << row;
+    }
+}
+
+/**
+ * A claim whose owner died (no heartbeat) is taken over: the sweep
+ * defers the row, waits out the staleness window, breaks the claim,
+ * and simulates the row itself — no gap in the table.
+ */
+TEST_F(MultiprocessSweepTest, StaleClaimedRowIsTakenOverBySweep)
+{
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    const Workload wl = makePair("BLK", "TRD");
+
+    ShardClaims dead(shared_path_);
+    ASSERT_TRUE(dead.tryAcquire(runner.comboKey(wl.name, {4, 4})));
+
+    ScopedEnv shard("EBM_SWEEP_SHARD", "1");
+    ScopedEnv stale("EBM_CLAIM_STALE_MS", "1");
+    DiskCache cache(shared_path_);
+    Exhaustive ex(runner, cache);
+    ex.setJobs(1);
+    const ComboTable table = ex.sweep(wl, {1, 4});
+
+    EXPECT_EQ(ex.status().simulated, 4u);
+    EXPECT_EQ(ex.status().skipped, 0u);
+    ASSERT_EQ(table.combos.size(), 4u);
+    for (std::size_t row = 0; row < table.combos.size(); ++row)
+        EXPECT_FALSE(table.isSkipped(row)) << "row " << row;
+
+    // A plain (unsharded) sweep of the same ladder is bit-identical.
+    DiskCache ref_cache(ref_path_);
+    Exhaustive ref(runner, ref_cache);
+    ref.setJobs(1);
+    EXPECT_TRUE(tablesBitIdentical(ref.sweep(wl, {1, 4}), table));
+}
+
+// ---------------------------------------------------------------------
+// The forked acceptance scenario.
+// ---------------------------------------------------------------------
+
+/**
+ * Fork @p num_procs children that cooperatively run one cold sweep
+ * (EBM_SWEEP_SHARD=1) through @p shared_path at @p jobs worker
+ * threads each, verifying every child's table against @p ref inside
+ * the child. @return the children's simulated-row counts.
+ */
+std::vector<std::size_t>
+runShardedChildren(int num_procs, std::uint32_t jobs_count,
+                   const std::string &shared_path,
+                   const std::string &status_stem,
+                   const ComboTable &ref,
+                   const std::vector<std::uint32_t> &ladder,
+                   const FaultInjector *armed_injector)
+{
+    std::vector<pid_t> kids;
+    for (int c = 0; c < num_procs; ++c) {
+        const pid_t pid = ::fork();
+        EXPECT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: a fresh cooperating process. No gtest assertions
+            // here — failures are reported through the exit code.
+            int rc = 0;
+            {
+                RunOptions opts = test::tinyOptions();
+                std::optional<FaultInjector> fi;
+                if (armed_injector != nullptr) {
+                    // Same seed in every process: the pre-drawn fault
+                    // schedule is identical everywhere.
+                    fi.emplace(*armed_injector);
+                    opts.faultInjector = &*fi;
+                }
+                Runner runner(test::tinyConfig(2), opts);
+                DiskCache cache(shared_path);
+                Exhaustive ex(runner, cache);
+                ex.setJobs(jobs_count);
+                const ComboTable mine =
+                    ex.sweep(makePair("BLK", "TRD"), ladder);
+                if (!tablesBitIdentical(ref, mine))
+                    rc = 2;
+                std::ofstream st(status_stem + ".status." +
+                                 std::to_string(c));
+                st << ex.status().simulated << "\n";
+            }
+            ::_exit(rc);
+        }
+        kids.push_back(pid);
+    }
+
+    std::vector<std::size_t> simulated;
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+        int status = 0;
+        EXPECT_EQ(::waitpid(kids[c], &status, 0), kids[c]);
+        EXPECT_TRUE(WIFEXITED(status)) << "child " << c;
+        EXPECT_EQ(WEXITSTATUS(status), 0)
+            << "child " << c
+            << " saw a table differing from the single-process one";
+        std::ifstream st(status_stem + ".status." + std::to_string(c));
+        std::size_t n = 0;
+        st >> n;
+        simulated.push_back(n);
+    }
+    return simulated;
+}
+
+/**
+ * The acceptance test: {2, 4} cooperating processes × EBM_JOBS
+ * {1, 8} fill one cold paper-shaped 64-combination sweep through a
+ * shared store. Every process's table is bit-identical to the
+ * single-process table, the union of their work covers the sweep, and
+ * the compacted shared store is byte-identical to the single-process
+ * store.
+ */
+TEST_F(MultiprocessSweepTest, ForkedColdSweepMatchesSingleProcess)
+{
+    const std::vector<std::uint32_t> ladder = {1, 2, 3, 4, 5, 6, 7, 8};
+    Runner runner(test::tinyConfig(2), test::tinyOptions());
+    const Workload wl = makePair("BLK", "TRD");
+
+    // The single-process reference (sharding off), compacted.
+    ComboTable ref;
+    std::string ref_bytes;
+    {
+        DiskCache cache(ref_path_);
+        Exhaustive ex(runner, cache);
+        ex.setJobs(1);
+        ref = ex.sweep(wl, ladder);
+        ASSERT_EQ(ex.status().simulated, 64u);
+        ASSERT_TRUE(cache.compact());
+        ref_bytes = slurp(ref_path_);
+        ASSERT_FALSE(ref_bytes.empty());
+    }
+
+    ScopedEnv shard("EBM_SWEEP_SHARD", "1");
+    const struct
+    {
+        int procs;
+        std::uint32_t jobs;
+    } grid[] = {{2, 1}, {2, 8}, {4, 1}};
+    for (const auto &cfg : grid) {
+        std::remove(shared_path_.c_str());
+        removeDirTree(shared_path_ + ".claims");
+
+        const std::vector<std::size_t> simulated = runShardedChildren(
+            cfg.procs, cfg.jobs, shared_path_, stem_, ref, ladder,
+            nullptr);
+
+        // Cold store: every row was simulated by some process, and
+        // rows are not re-simulated barring a benign takeover race.
+        std::size_t sum = 0;
+        for (const std::size_t n : simulated)
+            sum += n;
+        EXPECT_GE(sum, 64u) << cfg.procs << "p/" << cfg.jobs << "j";
+        EXPECT_LE(sum, 72u)
+            << cfg.procs << "p/" << cfg.jobs
+            << "j: cooperating processes re-simulated most rows";
+
+        // The shared store, compacted, is the single-process bytes.
+        DiskCache merged(shared_path_);
+        EXPECT_FALSE(merged.loadReport().quarantined);
+        EXPECT_EQ(merged.size(), 64u);
+        ASSERT_TRUE(merged.compact());
+        EXPECT_EQ(slurp(shared_path_), ref_bytes)
+            << cfg.procs << "p/" << cfg.jobs << "j";
+    }
+}
+
+/**
+ * The same acceptance scenario with the RunFail injector armed: the
+ * persistently failing combination is skipped by whichever process
+ * claims it, the skip marker is replicated everywhere, and the tables
+ * still match the single-process injected run.
+ */
+TEST_F(MultiprocessSweepTest, ForkedSweepWithInjectedFailuresMatches)
+{
+    const std::vector<std::uint32_t> ladder = {1, 4};
+    FaultInjector seed_injector(5);
+    seed_injector.armAfter(Point::RunFail, 2, 3);
+
+    // Single-process reference with the identical injector state.
+    ComboTable ref;
+    std::string ref_bytes;
+    {
+        RunOptions opts = test::tinyOptions();
+        FaultInjector fi(seed_injector);
+        opts.faultInjector = &fi;
+        Runner runner(test::tinyConfig(2), opts);
+        DiskCache cache(ref_path_);
+        Exhaustive ex(runner, cache);
+        ex.setJobs(1);
+        ref = ex.sweep(makePair("BLK", "TRD"), ladder);
+        EXPECT_EQ(ex.status().retried, 2u);
+        EXPECT_EQ(ex.status().skipped, 1u);
+        ASSERT_TRUE(cache.compact());
+        ref_bytes = slurp(ref_path_);
+    }
+
+    ScopedEnv shard("EBM_SWEEP_SHARD", "1");
+    const std::vector<std::size_t> simulated = runShardedChildren(
+        2, 1, shared_path_, stem_, ref, ladder, &seed_injector);
+
+    // 3 of 4 rows succeed; the fourth is skipped, not duplicated.
+    std::size_t sum = 0;
+    for (const std::size_t n : simulated)
+        sum += n;
+    EXPECT_GE(sum, 3u);
+    EXPECT_LE(sum, 6u);
+
+    DiskCache merged(shared_path_);
+    EXPECT_EQ(merged.size(), 3u)
+        << "the skipped combination must never be persisted";
+    ASSERT_TRUE(merged.compact());
+    EXPECT_EQ(slurp(shared_path_), ref_bytes);
+}
+
+} // namespace
+} // namespace ebm

@@ -1,10 +1,11 @@
 /**
  * @file
  * Determinism contract of the parallel sweep path: a sweep dispatched
- * onto 4 workers must be bit-identical — table, cache file bytes,
- * retry/skip accounting — to the strictly serial one. Plus a raw
- * concurrency hammer on DiskCache and the non-finite cache-entry
- * recompute guard.
+ * onto 4 workers must be bit-identical — table, compacted cache
+ * bytes, retry/skip accounting — to the strictly serial one. (The
+ * raw appended file reflects completion order; compact() is the
+ * canonical byte representation.) Plus a raw concurrency hammer on
+ * DiskCache and the non-finite cache-entry recompute guard.
  */
 #include <cstdio>
 #include <cstring>
@@ -97,8 +98,9 @@ class ParallelSweepTest : public ::testing::Test
 /**
  * The acceptance test for the parallel sweep: one full 2-app sweep
  * over the paper-shaped 8x8 = 64-combination ladder at jobs=4 must
- * reproduce the jobs=1 table bit for bit — and, because cache entries
- * persist sorted, the two cache files must be byte-identical too.
+ * reproduce the jobs=1 table bit for bit — and, because compaction
+ * rewrites sorted by key, the two compacted cache files must be
+ * byte-identical too.
  */
 TEST_F(ParallelSweepTest, JobsFourIsBitIdenticalToJobsOne)
 {
@@ -113,6 +115,7 @@ TEST_F(ParallelSweepTest, JobsFourIsBitIdenticalToJobsOne)
         ex.setJobs(1);
         serial = ex.sweep(wl, ladder);
         EXPECT_EQ(ex.status().simulated, 64u);
+        EXPECT_TRUE(cache.compact());
     }
 
     ComboTable parallel;
@@ -123,6 +126,7 @@ TEST_F(ParallelSweepTest, JobsFourIsBitIdenticalToJobsOne)
         parallel = ex.sweep(wl, ladder);
         EXPECT_EQ(ex.status().simulated, 64u);
         EXPECT_EQ(ex.status().fromCache, 0u);
+        EXPECT_TRUE(cache.compact());
     }
 
     ASSERT_EQ(serial.combos.size(), 64u);
@@ -140,7 +144,7 @@ TEST_F(ParallelSweepTest, JobsFourIsBitIdenticalToJobsOne)
     const std::string parallel_bytes = slurp(parallel_path_);
     ASSERT_FALSE(serial_bytes.empty());
     EXPECT_EQ(serial_bytes, parallel_bytes)
-        << "sorted-key snapshot persists must make the cache file "
+        << "sorted-key compaction must make the cache file "
            "independent of worker interleaving";
 
     // Nothing was quarantined or left behind by either run.
@@ -192,6 +196,7 @@ TEST_F(ParallelSweepTest, FaultAccountingMatchesSerialUnderWorkers)
         ex.setJobs(jobs_count);
         const ComboTable t = ex.sweep(makePair("BLK", "TRD"), {1, 4});
         status = ex.status();
+        EXPECT_TRUE(cache.compact());
         return t;
     };
 
@@ -237,6 +242,7 @@ TEST_F(ParallelSweepTest, ProbabilityFaultsDeterministicAcrossJobs)
         ex.setJobs(jobs_count);
         const ComboTable t = ex.sweep(makePair("BLK", "TRD"), {1, 4});
         status = ex.status();
+        EXPECT_TRUE(cache.compact());
         return t;
     };
 
@@ -344,7 +350,7 @@ TEST_F(ParallelSweepTest, DiskCacheConcurrentPutGetHammer)
 /**
  * Sharding is an in-memory concurrency knob only: the same hammer —
  * 8 threads over 160 keys, each thread probing cold (miss), inserting,
- * and reading back (hit) — must leave a byte-identical persisted file
+ * and reading back (hit) — must leave a byte-identical compacted file
  * and identical hit/miss accounting at every shard count, including
  * the degenerate single-shard configuration.
  */
@@ -395,6 +401,7 @@ TEST_F(ParallelSweepTest, ShardCountNeverChangesBytesOrAccounting)
             out.misses = cache.misses();
             out.size = cache.size();
             EXPECT_EQ(cache.persistFailures(), 0u);
+            EXPECT_TRUE(cache.compact());
         }
         out.bytes = slurp(path);
         std::remove(path.c_str());
