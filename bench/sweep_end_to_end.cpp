@@ -29,6 +29,7 @@
 #include "harness/gpu_pool.hpp"
 #include "harness/profile_db.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep_supervisor.hpp"
 #include "workload/app_catalog.hpp"
 #include "workload/workload_suite.hpp"
 
@@ -249,6 +250,62 @@ BM_SweepMultiProcess(benchmark::State &state)
 }
 BENCHMARK(BM_SweepMultiProcess)
     ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+/**
+ * The supervised variant of the cross-process cold fill: the same N
+ * cooperating workers, but forked and reaped by SweepSupervisor with
+ * heartbeat files armed. No faults are injected, so the delta against
+ * BM_SweepMultiProcess/N is the pure supervision overhead — fork
+ * bookkeeping, the poll/reap loop, and per-slot heartbeat touches —
+ * that a crash-consistent sweep pays on the happy path.
+ */
+void
+BM_SweepSupervised(benchmark::State &state)
+{
+    const std::uint32_t procs =
+        static_cast<std::uint32_t>(state.range(0));
+    const std::string path = "bench_sweep_sup.cache";
+    ::setenv("EBM_SWEEP_SHARD", "1", 1);
+
+    std::uint64_t restarts = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::remove(path.c_str());
+        removeClaimDir(path + ".claims");
+        removeClaimDir(path + ".hb");
+        state.ResumeTiming();
+
+        SweepSupervisor::Options o;
+        o.workers = procs;
+        o.heartbeatDir = path + ".hb";
+        SweepSupervisor sup(o);
+        const SweepSupervisor::Report report =
+            sup.run([&path](std::uint32_t, std::uint32_t) {
+                Runner runner(benchConfig(), benchOptions());
+                DiskCache cache(path);
+                Exhaustive ex(runner, cache);
+                ex.setJobs(1);
+                ex.sweep(makePair("BFS", "FFT"));
+                return 0;
+            });
+        if (!report.allSucceeded)
+            state.SkipWithError("supervised worker failed");
+        restarts += report.totalRestarts;
+    }
+    state.SetLabel("workers=" + std::to_string(procs));
+    state.counters["restarts"] = static_cast<double>(restarts);
+
+    ::unsetenv("EBM_SWEEP_SHARD");
+    std::remove(path.c_str());
+    removeClaimDir(path + ".claims");
+    removeClaimDir(path + ".hb");
+}
+BENCHMARK(BM_SweepSupervised)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

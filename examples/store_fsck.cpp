@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Offline scrub/repair CLI for v3 binary result stores.
+ *
+ *   store_fsck <store>                 scrub, report, touch nothing
+ *   store_fsck --repair <store>        scrub; on damage, quarantine
+ *                                      the bad bytes and re-emit the
+ *                                      canonical compacted store
+ *   store_fsck --make-fixture <store>  write the deterministic
+ *                                      corrupted fixture (CI uses it
+ *                                      to exercise the repair path)
+ *
+ * Exit codes: 0 = clean, 1 = damage found (repaired when --repair),
+ * 2 = unrecoverable or usage/I/O error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/store_fsck.hpp"
+
+int
+main(int argc, char **argv)
+{
+    bool repair = false;
+    bool make_fixture = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repair") == 0) {
+            repair = true;
+        } else if (std::strcmp(argv[i], "--make-fixture") == 0) {
+            make_fixture = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "store_fsck: unknown option %s\n",
+                         argv[i]);
+            return 2;
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "store_fsck: one store at a time\n");
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: store_fsck [--repair|--make-fixture] "
+                     "<store>\n");
+        return 2;
+    }
+
+    if (make_fixture) {
+        if (!ebm::writeFsckFixture(path)) {
+            std::fprintf(stderr,
+                         "store_fsck: cannot write fixture %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::printf("store_fsck: wrote corrupted fixture %s\n",
+                    path.c_str());
+        return 0;
+    }
+
+    ebm::FsckOptions options;
+    options.repair = repair;
+    const ebm::FsckReport report = ebm::fsckStore(path, options);
+    std::printf("%s: %s\n", path.c_str(),
+                report.summaryLine().c_str());
+    if (!report.quarantinePath.empty())
+        std::printf("quarantined bytes: %s\n",
+                    report.quarantinePath.c_str());
+
+    switch (report.verdict) {
+      case ebm::FsckReport::Verdict::Clean:
+        return 0;
+      case ebm::FsckReport::Verdict::Dirty:
+        return 1;
+      case ebm::FsckReport::Verdict::Unrecoverable:
+        return 2;
+    }
+    return 2;
+}

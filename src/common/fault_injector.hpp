@@ -40,6 +40,16 @@ class FaultInjector
         EbSampleZero,     ///< Monitor window yields all-zero counters.
         AppDrain,         ///< One app drains (goes idle) mid-run.
         RunFail,          ///< A simulation run fails outright.
+        // --- I/O-layer points, queried through common/io_fault.hpp ---
+        IoShortWrite,     ///< A write lands partially, then errors.
+        IoFsyncFail,      ///< fsync reports failure (data not durable).
+        IoEnospc,         ///< Write fails up front with ENOSPC.
+        IoEio,            ///< Write fails up front with EIO.
+        IoAbortAfterWrite,///< Process dies (SIGKILL) after a write.
+        IoAbortMidWrite,  ///< Process dies (SIGKILL) mid-write (torn).
+        // --- Whole-process crash points in the sweep claim protocol --
+        CrashClaimHeld,   ///< Die right after winning a row's claim.
+        CrashPostPut,     ///< Die after the durable put, pre-release.
         kNumPoints,
     };
 
@@ -133,6 +143,14 @@ class FaultInjector
           case Point::EbSampleZero:      return "eb-sample-zero";
           case Point::AppDrain:          return "app-drain";
           case Point::RunFail:           return "run-fail";
+          case Point::IoShortWrite:      return "io-short-write";
+          case Point::IoFsyncFail:       return "io-fsync-fail";
+          case Point::IoEnospc:          return "io-enospc";
+          case Point::IoEio:             return "io-eio";
+          case Point::IoAbortAfterWrite: return "io-abort-after-write";
+          case Point::IoAbortMidWrite:   return "io-abort-mid-write";
+          case Point::CrashClaimHeld:    return "crash-claim-held";
+          case Point::CrashPostPut:      return "crash-post-put";
           case Point::kNumPoints:        break;
         }
         return "unknown";

@@ -18,57 +18,27 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "harness/store_format.hpp"
 #include "workload/app_catalog.hpp"
 
 namespace ebm {
 
 namespace {
 
-// --- v3 binary layout -----------------------------------------------
-//
-//   header (64 bytes):
-//     [ 0..7 ]  magic "EBMCBIN3"
-//     [ 8..11]  u32 format version (3)
-//     [12..15]  u32 app-catalog version at write time
-//     [16..55]  machine float-ABI fingerprint, NUL-padded
-//     [56..63]  reserved (zero)
-//   frame:
-//     u32 frame magic | u32 keyLen | u32 valueCount |
-//     keyLen key bytes | valueCount raw doubles | u64 checksum
-//
-// Integers and doubles are host-endian: the header fingerprint pins
-// the byte order (and double width), so a foreign-endian file is
-// quarantined before any frame is interpreted.
-constexpr char kMagicV3[8] = {'E', 'B', 'M', 'C', 'B', 'I', 'N', '3'};
-constexpr std::uint32_t kFormatVersionV3 = 3;
-constexpr std::uint64_t kHeaderSize = 64;
-constexpr std::size_t kFingerprintBytes = 40;
-constexpr std::uint32_t kFrameMagic = 0x33464245u; // "EBF3", LE bytes.
-constexpr std::size_t kFrameHeadBytes = 12;
-constexpr std::size_t kFrameTailBytes = 8;
-// Sanity bounds a valid frame header can never exceed; anything
-// larger is corruption, not data.
-constexpr std::uint32_t kMaxKeyBytes = 1u << 16;
-constexpr std::uint32_t kMaxValueCount = 1u << 20;
+// The v3 binary layout lives in harness/store_format.hpp, shared with
+// the store_fsck scrubber so both emit identical canonical bytes.
+using storefmt::entryChecksum;
+using storefmt::kFencingEpochOffset;
+using storefmt::kFormatVersionV3;
+using storefmt::kFrameHeadBytes;
+using storefmt::kFrameMagic;
+using storefmt::kFrameTailBytes;
+using storefmt::kHeaderSize;
+using storefmt::kMagicV3;
+using storefmt::kMaxKeyBytes;
+using storefmt::kMaxValueCount;
 
 constexpr std::uint32_t kDefaultShards = 16;
-
-/** Checksum over an entry's key and value bit patterns. */
-std::uint64_t
-entryChecksum(const std::string &key, const std::vector<double> &values)
-{
-    // FNV-1a over the key bytes, then every double's exact bit
-    // pattern folded in through the mixer. Identical to the v2 text
-    // checksum, so migrated entries re-verify without recomputation.
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const char c : key) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    for (const double v : values)
-        h = hashIds(h, std::bit_cast<std::uint64_t>(v));
-    return h;
-}
 
 /** FNV-1a over the key bytes (shard selection). */
 std::uint64_t
@@ -109,63 +79,16 @@ parseValues(const std::string &text, std::vector<double> &values)
     return rest.empty();
 }
 
-void
-putU32(std::string &buf, std::uint32_t v)
-{
-    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
-}
-
-void
-putU64(std::string &buf, std::uint64_t v)
-{
-    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
-}
-
+/** Clean-store header (fencing epoch 0) for this build. */
 std::string
 buildHeader()
 {
-    std::string h(kHeaderSize, '\0');
-    std::memcpy(h.data(), kMagicV3, sizeof kMagicV3);
-    const std::uint32_t fmt = kFormatVersionV3;
-    std::memcpy(h.data() + 8, &fmt, sizeof fmt);
-    const auto cat = static_cast<std::uint32_t>(kAppCatalogVersion);
-    std::memcpy(h.data() + 12, &cat, sizeof cat);
-    const std::string fp = DiskCache::machineFingerprint();
-    std::memcpy(h.data() + 16, fp.data(),
-                std::min(fp.size(), kFingerprintBytes - 1));
-    return h;
+    return storefmt::buildHeader(
+        static_cast<std::uint32_t>(kAppCatalogVersion),
+        DiskCache::machineFingerprint());
 }
 
-void
-appendFrame(std::string &buf, const std::string &key,
-            const std::vector<double> &values)
-{
-    putU32(buf, kFrameMagic);
-    putU32(buf, static_cast<std::uint32_t>(key.size()));
-    putU32(buf, static_cast<std::uint32_t>(values.size()));
-    buf.append(key);
-    buf.append(reinterpret_cast<const char *>(values.data()),
-               values.size() * sizeof(double));
-    putU64(buf, entryChecksum(key, values));
-}
-
-bool
-pwriteAll(int fd, std::uint64_t off, const char *data, std::size_t len)
-{
-    while (len > 0) {
-        const ssize_t n =
-            ::pwrite(fd, data, len, static_cast<off_t>(off));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += n;
-        off += static_cast<std::uint64_t>(n);
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
+using storefmt::appendFrame;
 
 bool
 preadAll(int fd, std::uint64_t off, char *data, std::size_t len)
@@ -217,7 +140,7 @@ DiskCache::defaultPath(const std::string &file)
 
 DiskCache::DiskCache(std::string path, FaultInjector *injector,
                      std::uint32_t shards)
-    : path_(std::move(path)), injector_(injector),
+    : path_(std::move(path)), injector_(injector), io_(injector),
       shards_(resolveShardCount(shards))
 {
     load();
@@ -263,12 +186,34 @@ DiskCache::size() const
 void
 DiskCache::load()
 {
-    int fd = ::open(path_.c_str(), O_RDWR);
+    // EBM_CACHE_READONLY forces the degraded serving mode (and lets
+    // the read-only path be tested deterministically even where
+    // permission bits don't apply, e.g. running as root).
+    const bool forced_ro = envFlag("EBM_CACHE_READONLY", false);
+    int fd = forced_ro ? -1 : ::open(path_.c_str(), O_RDWR);
     const bool writable = fd >= 0;
     if (!writable)
         fd = ::open(path_.c_str(), O_RDONLY);
-    if (fd < 0)
+    if (fd < 0) {
+        if (forced_ro) {
+            // No file to serve, and appends are refused: an empty
+            // read-only store.
+            readOnly_ = true;
+            loadReport_.readOnlyMode = true;
+        }
         return; // Missing file: an empty cache, not an error.
+    }
+    if (!writable) {
+        // The file exists but cannot be written (read-only filesystem,
+        // permissions, or EBM_CACHE_READONLY): degrade to serving.
+        // Entries load and get() works; appends and torn-tail
+        // truncation are refused instead of failing attempt by
+        // attempt.
+        readOnly_ = true;
+        loadReport_.readOnlyMode = true;
+        warn("DiskCache: " + path_ +
+             " is not writable; serving read-only (appends refused)");
+    }
     ::flock(fd, LOCK_EX);
 
     struct stat st = {};
@@ -327,15 +272,15 @@ DiskCache::load()
         return;
     }
 
-    std::uint32_t fmt = 0;
-    std::uint32_t cat = 0;
-    char fp[kFingerprintBytes] = {};
-    std::memcpy(&fmt, data + 8, sizeof fmt);
-    std::memcpy(&cat, data + 12, sizeof cat);
-    std::memcpy(fp, data + 16, kFingerprintBytes);
-    fp[kFingerprintBytes - 1] = '\0';
-    const std::string fingerprint(fp);
-    if (fmt != kFormatVersionV3 ||
+    const storefmt::Header header = storefmt::parseHeader(data);
+    const std::uint32_t fmt = header.formatVersion;
+    const std::uint32_t cat = header.catalogVersion;
+    const std::string &fingerprint = header.fingerprint;
+    // A nonzero epoch marks appends made under claim takeovers (the
+    // fencing protocol in shard_claim.hpp); reported, not validated.
+    loadReport_.fencingEpoch = header.fencingEpoch;
+    fencingEpoch_.store(header.fencingEpoch, std::memory_order_relaxed);
+    if (fmt != storefmt::kFormatVersionV3 ||
         cat != static_cast<std::uint32_t>(kAppCatalogVersion) ||
         fingerprint != machineFingerprint()) {
         // Wrong version, stale app catalog, or foreign machine:
@@ -531,49 +476,23 @@ DiskCache::scanFrames(const char *data, std::size_t begin,
     corrupt = false;
     std::size_t off = begin;
     while (off < end) {
-        if (end - off < kFrameHeadBytes) {
+        storefmt::Frame frame;
+        const storefmt::FrameParse parse =
+            storefmt::parseFrameAt(data, off, end, frame);
+        if (parse == storefmt::FrameParse::Torn) {
             torn = true;
             break;
         }
-        std::uint32_t magic, key_len, value_count;
-        std::memcpy(&magic, data + off, sizeof magic);
-        std::memcpy(&key_len, data + off + 4, sizeof key_len);
-        std::memcpy(&value_count, data + off + 8, sizeof value_count);
-        if (magic != kFrameMagic || key_len == 0 ||
-            key_len > kMaxKeyBytes || value_count > kMaxValueCount) {
-            // A torn append only ever cuts a frame short; a complete
-            // 12-byte head with impossible fields is corruption.
+        if (parse == storefmt::FrameParse::Bad) {
             corrupt = true;
             break;
         }
-        const std::size_t need = kFrameHeadBytes + key_len +
-                                 value_count * sizeof(double) +
-                                 kFrameTailBytes;
-        if (end - off < need) {
-            torn = true;
-            break;
-        }
         Entry e;
-        e.key.assign(data + off + kFrameHeadBytes, key_len);
-        e.values.resize(value_count);
-        std::memcpy(e.values.data(),
-                    data + off + kFrameHeadBytes + key_len,
-                    value_count * sizeof(double));
-        std::uint64_t stored_sum = 0;
-        std::memcpy(&stored_sum, data + off + need - kFrameTailBytes,
-                    sizeof stored_sum);
-        if (entryChecksum(e.key, e.values) != stored_sum) {
-            // A bad checksum on the final frame is a garbled tail
-            // write; anywhere earlier it's corruption.
-            if (off + need == end)
-                torn = true;
-            else
-                corrupt = true;
-            break;
-        }
+        e.key = std::move(frame.key);
+        e.values = std::move(frame.values);
         e.offset = off;
         out.push_back(std::move(e));
-        off += need;
+        off += frame.bytes;
     }
     return off;
 }
@@ -649,8 +568,10 @@ DiskCache::scanRegionLocked(int fd, std::uint64_t file_size,
     }
     if (torn) {
         // We hold the exclusive lock, so no live writer is mid-append:
-        // the partial tail belongs to a killed peer. Chop it.
-        if (::ftruncate(fd, static_cast<off_t>(valid_end)) == 0)
+        // the partial tail belongs to a killed peer. Chop it (unless
+        // degraded to read-only — then just stop before the tear).
+        if (!readOnly_ &&
+            ::ftruncate(fd, static_cast<off_t>(valid_end)) == 0)
             warn("DiskCache: truncated a torn peer append in " +
                  path_ + " at " + std::to_string(valid_end) +
                  " bytes");
@@ -662,6 +583,15 @@ DiskCache::scanRegionLocked(int fd, std::uint64_t file_size,
 void
 DiskCache::quarantineAndRewrite()
 {
+    if (readOnly_) {
+        // Nothing on a read-only filesystem can be moved or rewritten;
+        // keep serving whatever loaded and leave repair to store_fsck
+        // on a writable mount.
+        warn("DiskCache: " + path_ +
+             " needs quarantine/rewrite but the store is read-only; "
+             "serving the valid entries only");
+        return;
+    }
     const std::string quarantine = path_ + ".quarantined";
     if (std::rename(path_.c_str(), quarantine.c_str()) == 0) {
         loadReport_.quarantined = true;
@@ -682,6 +612,11 @@ DiskCache::quarantineAndRewrite()
 bool
 DiskCache::persistCompacted()
 {
+    if (readOnly_) {
+        warn("DiskCache: " + path_ +
+             " is read-only; compaction/rewrite refused");
+        return false;
+    }
     // The injector query is serialized by the callers (constructor,
     // offline compaction), so the ordinal fault schedules used by the
     // robustness tests stay deterministic.
@@ -731,9 +666,9 @@ DiskCache::writeCompacted(const EntryMap &snapshot)
                  " (directory unwritable?); results stay in memory");
             return false;
         }
-        const bool wrote =
-            pwriteAll(fd, 0, buf.data(), buf.size()) &&
-            ::fsync(fd) == 0;
+        const bool wrote = io_.pwriteAll(fd, 0, buf.data(),
+                                         buf.size()).ok() &&
+                           io_.fsyncFd(fd).ok();
         ::close(fd);
         if (!wrote) {
             warn("DiskCache: write to " + tmp + " failed");
@@ -821,7 +756,8 @@ DiskCache::appendBatch(const std::vector<Entry> &batch)
                 const std::string header = buildHeader();
                 if (end != 0)
                     (void)::ftruncate(fd, 0);
-                ready = pwriteAll(fd, 0, header.data(), header.size());
+                ready = io_.pwriteAll(fd, 0, header.data(),
+                                      header.size()).ok();
                 if (ready) {
                     end = kHeaderSize;
                     wrote += header.size();
@@ -835,8 +771,32 @@ DiskCache::appendBatch(const std::vector<Entry> &batch)
                 ready = scanRegionLocked(fd, end, end, merged);
             }
             if (ready) {
-                ok = pwriteAll(fd, end, buf.data(), buf.size()) &&
-                     ::fsync(fd) == 0;
+                // Echo the max fencing epoch this process appended
+                // under into the header (shard_claim.hpp), while the
+                // exclusive flock serializes the read-modify-write.
+                // Raw pwrite, not the shim: metadata only — a torn
+                // epoch field degrades reporting, never frames — and
+                // keeping it off the injection stream keeps seeded
+                // frame-fault schedules stable. Zero epochs (every
+                // unsharded run) never touch the field, so clean-run
+                // bytes are unchanged.
+                const std::uint64_t epoch =
+                    fencingEpoch_.load(std::memory_order_relaxed);
+                if (epoch != 0) {
+                    std::uint64_t on_disk = 0;
+                    if (::pread(fd, &on_disk, sizeof on_disk,
+                                static_cast<off_t>(
+                                    kFencingEpochOffset)) ==
+                            static_cast<ssize_t>(sizeof on_disk) &&
+                        epoch > on_disk) {
+                        (void)::pwrite(fd, &epoch, sizeof epoch,
+                                       static_cast<off_t>(
+                                           kFencingEpochOffset));
+                    }
+                }
+                const Status wr =
+                    io_.pwriteAll(fd, end, buf.data(), buf.size());
+                ok = wr.ok() && io_.fsyncFd(fd).ok();
                 if (ok) {
                     wrote += buf.size();
                     scanOffset_ = end + buf.size();
@@ -844,6 +804,9 @@ DiskCache::appendBatch(const std::vector<Entry> &batch)
                     // Drop our own partial append so the file stays a
                     // clean frame sequence for every other process.
                     (void)::ftruncate(fd, static_cast<off_t>(end));
+                    if (!wr.ok())
+                        warn("DiskCache: append I/O failed: " +
+                             wr.error().toString());
                 }
             }
         }
@@ -914,6 +877,25 @@ DiskCache::getValidated(const std::string &key,
 void
 DiskCache::put(const std::string &key, const std::vector<double> &values)
 {
+    (void)tryPut(key, values);
+}
+
+void
+DiskCache::noteFencingEpoch(std::uint64_t epoch)
+{
+    // Lock-free fetch-max: appendBatch reads whatever maximum has been
+    // noted when it stamps the header.
+    std::uint64_t cur = fencingEpoch_.load(std::memory_order_relaxed);
+    while (epoch > cur &&
+           !fencingEpoch_.compare_exchange_weak(
+               cur, epoch, std::memory_order_relaxed))
+        ;
+}
+
+Status
+DiskCache::tryPut(const std::string &key,
+                  const std::vector<double> &values)
+{
     if (key.empty())
         fatal(Error{Errc::InvalidArgument, "DiskCache: empty key"});
     if (key.find('|') != std::string::npos ||
@@ -933,6 +915,17 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
         shard.entries[key] = values;
     }
 
+    if (readOnly_) {
+        // Degraded mode: the in-memory view stays warm (the insert
+        // above) but no append is attempted, so callers that require
+        // durability can tell and refuse to release sweep claims.
+        std::lock_guard<std::mutex> lk(persistMu_);
+        ++persistFailures_;
+        return Status(Error{Errc::CacheIo,
+                            "DiskCache: " + path_ +
+                                " is read-only; refusing append"});
+    }
+
     // Single-writer group commit: if another thread already holds the
     // writer role it is guaranteed to loop until the pending queue —
     // which now contains this entry — is drained, so returning here
@@ -943,7 +936,7 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
     std::unique_lock<std::mutex> lk(persistMu_);
     pending_.push_back(Entry{key, values, 0});
     if (writerActive_)
-        return;
+        return Status::success();
     writerActive_ = true;
     std::vector<Entry> batch;
     while (!pending_.empty()) {
@@ -957,6 +950,7 @@ DiskCache::put(const std::string &key, const std::vector<double> &values)
     }
     writerActive_ = false;
     persistCv_.notify_all();
+    return Status::success();
 }
 
 void

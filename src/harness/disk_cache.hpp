@@ -57,7 +57,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/fault_injector.hpp"
+#include "common/io_fault.hpp"
 
 namespace ebm {
 
@@ -75,6 +77,10 @@ class DiskCache
         bool migratedV2 = false;         ///< v2 text file upgraded.
         bool quarantined = false;        ///< Bad file set aside.
         bool tornTailTruncated = false;  ///< Tail chopped to last frame.
+        bool readOnlyMode = false;       ///< Serving without appends.
+        /** Max fencing epoch stamped into the header by appenders
+         * (shard_claim.hpp); 0 in clean/compacted stores. */
+        std::uint64_t fencingEpoch = 0;
         std::string quarantinePath;
 
         // Persist-side counters (this instance's writes), so the I/O
@@ -118,6 +124,34 @@ class DiskCache
      * that covers it.
      */
     void put(const std::string &key, const std::vector<double> &values);
+
+    /**
+     * put() with the durability outcome surfaced: in read-only mode
+     * (an unwritable store — see readOnly()) the entry is still
+     * inserted in memory so this process keeps its warm view, but no
+     * append is attempted and a structured Errc::CacheIo error is
+     * returned. put() is tryPut() with the status dropped.
+     */
+    Status tryPut(const std::string &key,
+                  const std::vector<double> &values);
+
+    /**
+     * Is the store degraded to read-only? Set when the backing file
+     * exists but cannot be opened for writing (read-only filesystem,
+     * permissions), or forced with EBM_CACHE_READONLY=1. Reads, get(),
+     * and refresh() keep working; appends, torn-tail truncation, and
+     * compaction are refused without touching the file.
+     */
+    bool readOnly() const { return readOnly_; }
+
+    /**
+     * Record the caller's fencing epoch (shard_claim.hpp): the max is
+     * echoed into the store header's epoch field by subsequent
+     * appends, so a store written under claim takeovers is
+     * distinguishable from a clean one until compact() (which always
+     * stamps 0, keeping compacted bytes canonical).
+     */
+    void noteFencingEpoch(std::uint64_t epoch);
 
     /**
      * Block until every entry enqueued by put() before this call is
@@ -258,8 +292,12 @@ class DiskCache
 
     std::string path_;
     FaultInjector *injector_;
+    IoShim io_; ///< Injectable write/fsync seam (common/io_fault.hpp).
+    bool readOnly_ = false;
     std::vector<Shard> shards_;
     LoadReport loadReport_;
+    /** Max fencing epoch noted so far (echoed by appendBatch). */
+    std::atomic<std::uint64_t> fencingEpoch_{0};
 
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};

@@ -1,5 +1,8 @@
 #include "harness/exhaustive.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <optional>
@@ -65,6 +68,10 @@ struct SweepTask
     std::string key;
     /** Leading attempts the pre-drawn fault schedule fails. */
     std::uint32_t injectedFails = 0;
+    /** Pre-drawn whole-process crash points (chaos tests): die while
+     * holding the claim / after the durable put, pre-release. */
+    std::uint32_t crashClaimHeld = 0;
+    std::uint32_t crashPostPut = 0;
     /** 1 = another process claimed the row; wait for its result. */
     std::uint32_t deferred = 0;
     /** Outcome, merged into SweepStatus after the pool drains. */
@@ -173,6 +180,20 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             while (task.injectedFails <= maxRetries_ &&
                    injector->shouldFire(FaultInjector::Point::RunFail))
                 ++task.injectedFails;
+            // Whole-process crash points are pre-drawn here too: the
+            // shared injector is only ever queried serially, and the
+            // draw order is row order regardless of worker count, so
+            // a seeded chaos schedule kills the same row at the same
+            // point on every run. Per-point counters are independent,
+            // so disarmed points leave existing schedules untouched.
+            task.crashClaimHeld = injector->shouldFire(
+                                      FaultInjector::Point::CrashClaimHeld)
+                                      ? 1u
+                                      : 0u;
+            task.crashPostPut = injector->shouldFire(
+                                    FaultInjector::Point::CrashPostPut)
+                                    ? 1u
+                                    : 0u;
         }
         tasks.push_back(std::move(task));
     }
@@ -181,8 +202,30 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     // (pre-drawn injected fault or a genuine crash) is retried, then
     // skipped; one bad combination must not lose the whole sweep.
     // Each success is persisted as it completes (checkpoint/resume).
+    // Chaos kill: die the way the kernel kills a worker — SIGKILL, no
+    // destructors, no claim cleanup; the supervisor and the staleness
+    // protocol must recover, and that recovery is what's under test.
+    auto crashNow = [] {
+        (void)::kill(::getpid(), SIGKILL);
+        for (;;)
+            ::pause();
+    };
+
     auto simulateTask = [&](SweepTask &task) {
         const TlpCombo &combo = table.combos[task.row];
+
+        // Crash point: the claim is held, nothing is durable yet.
+        // Peers must see the claim go stale and take the row over.
+        if (claims && task.crashClaimHeld)
+            crashNow();
+
+        // Span the whole attempt loop with a background heartbeat so
+        // a single row longer than the staleness window never looks
+        // abandoned to peers (the per-attempt bump below is far too
+        // coarse for that once rows take seconds).
+        std::optional<ClaimHeartbeater> beat;
+        if (claims)
+            beat.emplace(&*claims, task.key);
 
         // Workers never touch the shared injector: the run-failure
         // schedule was pre-drawn above, and monitor-level points are
@@ -251,7 +294,22 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 // lands; peers read "claim gone" as "result durable",
                 // so force the flush before dropping the claim.
                 cache_.sync();
-                claims->release(task.key);
+                // Crash point: result durable, claim left behind.
+                // Peers break the stale claim and re-probe the store.
+                if (task.crashPostPut)
+                    crashNow();
+                // Stop the background heartbeat before dropping the
+                // claim so a late tick can't mistake our own release
+                // for a takeover.
+                const bool was_fenced = beat && beat->fenced();
+                beat.reset();
+                if (was_fenced || !claims->release(task.key)) {
+                    // A peer fenced us out mid-row and owns it now:
+                    // our durable result is a byte-identical
+                    // duplicate compute, not the one waiters consume.
+                    warn("Exhaustive: fenced while computing " +
+                         task.key + "; result kept as a duplicate");
+                }
             }
         } else {
             result = RunResult{};
@@ -261,8 +319,10 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             task.skipped = 1;
             // Durable skip marker: waiting processes replicate the
             // skip instead of polling a row that will never appear.
-            if (claims)
+            if (claims) {
+                beat.reset();
                 claims->markSkipped(task.key);
+            }
         }
         table.results[task.row] = std::move(result);
     };
@@ -290,7 +350,21 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     // probe and acquisition). Cooperating processes thus split the
     // missing rows by arrival instead of duplicating them; a row
     // someone else still holds is deferred to the wait phase below.
+    // Echo the claim's fencing epoch into the store header: epochs
+    // past the first mean the row changed hands (a takeover), and a
+    // store written under takeovers should say so until compaction
+    // renders it canonical again.
+    auto noteEpoch = [&](const SweepTask &task) {
+        const std::uint64_t epoch = claims->ownedEpoch(task.key);
+        if (epoch > 1)
+            cache_.noteFencingEpoch(epoch);
+    };
+
     auto runTask = [&](SweepTask &task) {
+        // Liveness for the sweep supervisor (sweep_supervisor.hpp):
+        // every dispatched row proves this worker is making progress,
+        // claims or not.
+        ClaimHeartbeater::touchWorkerHeartbeat();
         if (claims) {
             if (probePeer(task))
                 return;
@@ -298,6 +372,7 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 task.deferred = 1;
                 return;
             }
+            noteEpoch(task);
             if (probePeer(task)) {
                 claims->release(task.key);
                 return;
@@ -370,6 +445,7 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 // landing after this iteration's refresh): claim it
                 // ourselves; duplicates are byte-identical anyway.
                 if (claims->tryAcquire(task.key)) {
+                    noteEpoch(task);
                     if (!probePeer(task))
                         simulateTask(task);
                     else
@@ -379,6 +455,7 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 break;
               case ShardClaims::State::Stale:
                 if (claims->breakStale(task.key)) {
+                    noteEpoch(task);
                     if (!probePeer(task))
                         simulateTask(task);
                     else

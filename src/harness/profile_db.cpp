@@ -73,6 +73,11 @@ ProfileDb::profile(const AppProfile &app)
     const Cycle run_cycles = runner_.options().warmupCycles +
                              runner_.options().measureCycles;
     auto simulateLevel = [&](std::size_t i) {
+        // In-run heartbeat: an alone run longer than the staleness
+        // window must not look abandoned to peers (shard_claim.hpp).
+        std::optional<ClaimHeartbeater> beat;
+        if (claims)
+            beat.emplace(&*claims, keys[i]);
         const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = runner_.runAlone(app, prof.levels[i]);
         const std::chrono::duration<double> dt =
@@ -87,8 +92,20 @@ ProfileDb::profile(const AppProfile &app)
             // Group commit may return before the covering batch
             // lands; peers read "claim gone" as "result durable".
             cache_.sync();
-            claims->release(keys[i]);
+            const bool was_fenced = beat->fenced();
+            beat.reset();
+            if (was_fenced || !claims->release(keys[i])) {
+                warn("ProfileDb: fenced while computing " + keys[i] +
+                     "; result kept as a duplicate");
+            }
         }
+    };
+
+    // Header echo for takeover epochs, as in Exhaustive::sweep.
+    auto noteEpoch = [&](std::size_t i) {
+        const std::uint64_t epoch = claims->ownedEpoch(keys[i]);
+        if (epoch > 1)
+            cache_.noteFencingEpoch(epoch);
     };
 
     // Fold in a level a cooperating process finished since our probe
@@ -114,6 +131,7 @@ ProfileDb::profile(const AppProfile &app)
     std::vector<std::size_t> deferred;
     std::mutex deferred_mu;
     auto runLevel = [&](std::size_t i) {
+        ClaimHeartbeater::touchWorkerHeartbeat();
         if (claims) {
             if (probePeer(i))
                 return;
@@ -122,6 +140,7 @@ ProfileDb::profile(const AppProfile &app)
                 deferred.push_back(i);
                 return;
             }
+            noteEpoch(i);
             if (probePeer(i)) {
                 claims->release(keys[i]);
                 return;
@@ -181,6 +200,7 @@ ProfileDb::profile(const AppProfile &app)
             switch (claims->peek(keys[i])) {
               case ShardClaims::State::Absent:
                 if (claims->tryAcquire(keys[i])) {
+                    noteEpoch(i);
                     if (!probePeer(i))
                         simulateLevel(i);
                     else
@@ -190,6 +210,7 @@ ProfileDb::profile(const AppProfile &app)
                 break;
               case ShardClaims::State::Stale:
                 if (claims->breakStale(keys[i])) {
+                    noteEpoch(i);
                     if (!probePeer(i))
                         simulateLevel(i);
                     else

@@ -4,8 +4,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
 
 #include "common/config.hpp"
@@ -53,6 +56,31 @@ isFresh(const std::string &path)
            age <= ShardClaims::staleThreshold().count();
 }
 
+/** Read a whole small file; empty string on any failure. */
+std::string
+slurp(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return {};
+    char buf[64] = {};
+    const ssize_t n = ::read(fd, buf, sizeof buf - 1);
+    ::close(fd);
+    return n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                 : std::string();
+}
+
+/** Parse the epoch out of a claim file's "<pid> <epoch>\n" content;
+ * 0 when absent, legacy ("<pid>\n" only), or unparsable. */
+std::uint64_t
+parseClaimEpoch(const std::string &content)
+{
+    const std::size_t sp = content.find(' ');
+    if (sp == std::string::npos)
+        return 0;
+    return std::strtoull(content.c_str() + sp + 1, nullptr, 10);
+}
+
 } // namespace
 
 bool
@@ -88,6 +116,61 @@ ShardClaims::skipPath(const std::string &key) const
     return dir_ + "/" + keyFingerprint(key) + ".skip";
 }
 
+std::string
+ShardClaims::epochPath(const std::string &key) const
+{
+    return dir_ + "/" + keyFingerprint(key) + ".epoch";
+}
+
+std::uint64_t
+ShardClaims::bumpEpoch(const std::string &key)
+{
+    // Only the process that just won the O_EXCL claim create calls
+    // this, so per-key increments never race. A torn write (killed
+    // mid-bump) at worst repeats an epoch after a counter reset —
+    // fencing then degrades to today's unfenced behavior for that
+    // key, never to a wrong takeover.
+    const std::string path = epochPath(key);
+    const std::uint64_t next =
+        std::strtoull(slurp(path).c_str(), nullptr, 10) + 1;
+    const std::string text = std::to_string(next) + "\n";
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+        (void)!::write(fd, text.data(), text.size());
+        ::close(fd);
+    }
+    return next;
+}
+
+bool
+ShardClaims::stillOwned(const std::string &key) const
+{
+    std::uint64_t ours = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = owned_.find(key);
+        if (it == owned_.end())
+            return false;
+        ours = it->second;
+    }
+    return parseClaimEpoch(slurp(claimPath(key))) == ours;
+}
+
+std::uint64_t
+ShardClaims::ownedEpoch(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = owned_.find(key);
+    return it == owned_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ShardClaims::claimEpoch(const std::string &key) const
+{
+    return parseClaimEpoch(slurp(claimPath(key)));
+}
+
 bool
 ShardClaims::tryAcquire(const std::string &key)
 {
@@ -97,36 +180,66 @@ ShardClaims::tryAcquire(const std::string &key)
                           O_CREAT | O_EXCL | O_WRONLY, 0644);
     if (fd < 0)
         return false; // EEXIST (someone owns it) or unwritable dir.
-    // Owner identity, for humans inspecting a stuck sweep.
-    const std::string who = std::to_string(::getpid()) + "\n";
+    // We won the exclusive create: mint the fencing epoch, then
+    // record owner identity (humans) and epoch (fencing checks).
+    const std::uint64_t epoch = bumpEpoch(key);
+    const std::string who = std::to_string(::getpid()) + " " +
+                            std::to_string(epoch) + "\n";
     (void)!::write(fd, who.data(), who.size());
     ::close(fd);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        owned_[key] = epoch;
+    }
     return true;
 }
 
-void
+bool
 ShardClaims::heartbeat(const std::string &key)
 {
+    if (!stillOwned(key)) {
+        // Fenced: a peer saw us stale, took the row over under a
+        // newer epoch. Forget the claim — it is not ours to touch.
+        std::lock_guard<std::mutex> lk(mu_);
+        owned_.erase(key);
+        return false;
+    }
     // Bumping mtime is the liveness signal peers poll.
     (void)::utimensat(AT_FDCWD, claimPath(key).c_str(), nullptr, 0);
+    return true;
 }
 
-void
+bool
 ShardClaims::release(const std::string &key)
 {
-    (void)::unlink(claimPath(key).c_str());
+    const bool ours = stillOwned(key);
+    if (ours)
+        (void)::unlink(claimPath(key).c_str());
+    else
+        warn("ShardClaims: fenced out of " + keyFingerprint(key) +
+             "; leaving the newer claim in place");
+    std::lock_guard<std::mutex> lk(mu_);
+    owned_.erase(key);
+    return ours;
 }
 
-void
+bool
 ShardClaims::markSkipped(const std::string &key)
 {
+    if (!stillOwned(key)) {
+        // The new owner is computing the row; it decides whether the
+        // row gets skipped, not the fenced predecessor.
+        std::lock_guard<std::mutex> lk(mu_);
+        owned_.erase(key);
+        return false;
+    }
     // Marker first, claim second: a waiter that sees the claim vanish
     // must already be able to see why.
     const int fd = ::open(skipPath(key).c_str(),
                           O_CREAT | O_WRONLY | O_TRUNC, 0644);
     if (fd >= 0)
         ::close(fd);
-    release(key);
+    return release(key);
 }
 
 bool
@@ -164,7 +277,8 @@ ShardClaims::breakStale(const std::string &key)
     // Confirm staleness immediately before unlinking to narrow the
     // race with a slow-but-alive owner; if two waiters both break the
     // same claim, both compute the row — deterministic simulation and
-    // the last-wins store make the duplicate harmless.
+    // the last-wins store make the duplicate harmless. The bumped
+    // epoch fences the *previous* owner out of the claim either way.
     const std::string path = claimPath(key);
     if (isFresh(path))
         return false;
@@ -172,6 +286,65 @@ ShardClaims::breakStale(const std::string &key)
         return false; // Vanished: owner finished after all.
     (void)::unlink(path.c_str());
     return tryAcquire(key);
+}
+
+ClaimHeartbeater::ClaimHeartbeater(ShardClaims *claims, std::string key)
+    : claims_(claims), key_(std::move(key))
+{
+    if (claims_ == nullptr || key_.empty())
+        return;
+    thread_ = std::thread([this] { run(); });
+}
+
+ClaimHeartbeater::~ClaimHeartbeater()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+ClaimHeartbeater::touchWorkerHeartbeat()
+{
+    const char *path = std::getenv("EBM_WORKER_HEARTBEAT");
+    if (path == nullptr || path[0] == '\0')
+        return;
+    if (::utimensat(AT_FDCWD, path, nullptr, 0) != 0 &&
+        errno == ENOENT) {
+        const int fd = ::open(path, O_CREAT | O_WRONLY, 0644);
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+ClaimHeartbeater::run()
+{
+    // A quarter of the staleness window keeps a live owner at least
+    // three missed ticks away from ever looking stale.
+    const auto interval = std::max(
+        ShardClaims::staleThreshold() / 4,
+        std::chrono::milliseconds(10));
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (cv_.wait_for(lk, interval, [this] { return stop_; }))
+            return;
+        lk.unlock();
+        touchWorkerHeartbeat();
+        const bool ok = claims_->heartbeat(key_);
+        lk.lock();
+        if (!ok) {
+            // Fenced: stop touching a claim that is no longer ours
+            // and let the owner discover it after the run.
+            fenced_.store(true, std::memory_order_relaxed);
+            return;
+        }
+    }
 }
 
 } // namespace ebm

@@ -8,29 +8,50 @@
  * `O_CREAT|O_EXCL` — the atomic filesystem primitive — where keyfp is
  * a hash of the full cache key (which already embeds the runner
  * fingerprint, so distinct configs never contend). The owner
- * heartbeats the claim's mtime once per run attempt; a claim whose
- * mtime is older than EBM_CLAIM_STALE_MS belongs to a killed worker
- * and may be broken and taken over. A row whose retries are exhausted
- * is marked with a durable `<keyfp>.skip` sidecar so every waiting
- * process replicates the skip instead of polling forever; skip
- * markers expire after the same staleness window, so the next sweep
- * retries the row (matching the single-process behavior of never
- * persisting a failed combination).
+ * heartbeats the claim's mtime (per run attempt, and periodically
+ * *during* long rows via ClaimHeartbeater); a claim whose mtime is
+ * older than EBM_CLAIM_STALE_MS belongs to a killed worker and may be
+ * broken and taken over. A row whose retries are exhausted is marked
+ * with a durable `<keyfp>.skip` sidecar so every waiting process
+ * replicates the skip instead of polling forever; skip markers expire
+ * after the same staleness window, so the next sweep retries the row
+ * (matching the single-process behavior of never persisting a failed
+ * combination).
+ *
+ * Fencing: every acquisition — first claim or stale takeover — bumps
+ * a durable per-key epoch counter (`<keyfp>.epoch`) and records the
+ * new epoch inside the claim file. A *stale* owner (paused by the
+ * scheduler, stuck in I/O) that resumes after a peer took its row
+ * over holds an old epoch: its heartbeat(), release(), and
+ * markSkipped() all verify the on-disk claim still carries its epoch
+ * and refuse to touch a newer owner's claim, returning false so the
+ * caller knows it was fenced and must not treat its own (duplicate)
+ * result as the one peers will consume. Callers also echo their epoch
+ * into the result store header (DiskCache::noteFencingEpoch) so a
+ * store written under takeovers is distinguishable from a clean run.
  *
  * The protocol is an *optimization*, never a correctness dependency:
  * simulation is deterministic, the store is last-wins, and compaction
  * sorts by key — so if two processes ever compute the same row (the
  * unavoidable take-over race), they append byte-identical values and
- * the table, accounting, and compacted store are unchanged.
+ * the table, accounting, and compacted store are unchanged. Fencing
+ * closes the *protocol* hole — a stale owner unlinking a newer
+ * owner's claim, making waiters read "absent" as "durable" before the
+ * new owner has put — without changing the happy path.
  *
  * Sharding is off by default; EBM_SWEEP_SHARD=1 enables it (the
  * processes must share EBM_CACHE_DIR, or at least the store path).
  */
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 
 namespace ebm {
 
@@ -56,22 +77,33 @@ class ShardClaims
      * `<store_path>.claims/` (created here if missing). */
     explicit ShardClaims(const std::string &store_path);
 
-    /** Atomically claim @p key. @return true = this process owns the
-     * row and must compute it; false = someone else holds it (or a
-     * fresh skip marker exists). */
+    /** Atomically claim @p key, bumping its fencing epoch. @return
+     * true = this process owns the row and must compute it; false =
+     * someone else holds it (or a fresh skip marker exists). */
     bool tryAcquire(const std::string &key);
 
-    /** Bump the owned claim's liveness timestamp (call once per run
-     * attempt so long rows with retries never look stale). */
-    void heartbeat(const std::string &key);
+    /**
+     * Bump the owned claim's liveness timestamp. @return false when
+     * the claim no longer carries our epoch — a peer fenced us out
+     * (stale takeover) and this process's result must not be treated
+     * as the one waiters will consume.
+     */
+    bool heartbeat(const std::string &key);
 
-    /** The row's result is durable in the store: drop the claim so
-     * waiters fall through to the store. Call only after put(). */
-    void release(const std::string &key);
+    /**
+     * The row's result is durable in the store: drop the claim so
+     * waiters fall through to the store. Call only after put() *and*
+     * sync(). @return false when fenced — the claim belongs to a
+     * newer epoch and was left untouched.
+     */
+    bool release(const std::string &key);
 
-    /** Retries exhausted: write the durable skip marker, then drop
-     * the claim, so every waiting process skips the row too. */
-    void markSkipped(const std::string &key);
+    /**
+     * Retries exhausted: write the durable skip marker, then drop the
+     * claim, so every waiting process skips the row too. @return
+     * false when fenced (no marker written — the new owner decides).
+     */
+    bool markSkipped(const std::string &key);
 
     /** Is a fresh skip marker present for @p key? */
     bool isSkipped(const std::string &key) const;
@@ -80,16 +112,90 @@ class ShardClaims
     State peek(const std::string &key) const;
 
     /** Take over a stale claim: re-checks staleness, unlinks, then
-     * re-acquires. @return true = this process owns the row now. */
+     * re-acquires under a bumped epoch. @return true = this process
+     * owns the row now. */
     bool breakStale(const std::string &key);
+
+    /** The fencing epoch this instance holds @p key under; 0 when it
+     * does not own the key. Echo into
+     * DiskCache::noteFencingEpoch() after acquiring. */
+    std::uint64_t ownedEpoch(const std::string &key) const;
+
+    /** The epoch recorded in the on-disk claim file (whoever owns
+     * it); 0 when absent or unparsable. Diagnostics and tests. */
+    std::uint64_t claimEpoch(const std::string &key) const;
 
     const std::string &dir() const { return dir_; }
 
   private:
     std::string claimPath(const std::string &key) const;
     std::string skipPath(const std::string &key) const;
+    std::string epochPath(const std::string &key) const;
+    /** Bump `<keyfp>.epoch` and return the new value (only the O_EXCL
+     * winner calls this, so increments are serialized per key). */
+    std::uint64_t bumpEpoch(const std::string &key);
+    /** Does the on-disk claim still carry the epoch we acquired
+     * under? False = fenced (or never owned). */
+    bool stillOwned(const std::string &key) const;
 
     std::string dir_;
+    /** Epochs of claims this instance currently holds. */
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::uint64_t> owned_;
+};
+
+/**
+ * Periodic in-run heartbeat for one held claim (RAII).
+ *
+ * The per-attempt heartbeat in the sweep loop leaves a staleness
+ * hole: a single row whose simulation takes longer than
+ * EBM_CLAIM_STALE_MS looks dead to peers and gets taken over while
+ * its owner is alive and making progress. A ClaimHeartbeater spans
+ * the run attempt with a background thread that bumps the claim's
+ * mtime every staleThreshold()/4 (at least 10ms), so a live owner
+ * never looks stale no matter how long the row takes.
+ *
+ * The same tick also touches the file named by EBM_WORKER_HEARTBEAT
+ * (when set): under the sweep supervisor, a worker that is alive but
+ * stuck inside a row keeps both its claim *and* its supervisor
+ * liveness file fresh, tying the two hang detectors to one signal.
+ *
+ * If a tick discovers the claim was fenced (stolen by a peer after a
+ * scheduler stall longer than the window), it stops heartbeating and
+ * latches fenced(); the owner checks after the run and demotes its
+ * result to a duplicate compute.
+ */
+class ClaimHeartbeater
+{
+  public:
+    /** Start heartbeating @p key on @p claims. Either may be null /
+     * empty — then this is an inert object (the unsharded path). */
+    ClaimHeartbeater(ShardClaims *claims, std::string key);
+    ~ClaimHeartbeater();
+
+    ClaimHeartbeater(const ClaimHeartbeater &) = delete;
+    ClaimHeartbeater &operator=(const ClaimHeartbeater &) = delete;
+
+    /** Did a heartbeat discover the claim was taken over? */
+    bool fenced() const
+    {
+        return fenced_.load(std::memory_order_relaxed);
+    }
+
+    /** Touch the EBM_WORKER_HEARTBEAT file (supervisor liveness),
+     * creating it if missing. No-op when the env var is unset. */
+    static void touchWorkerHeartbeat();
+
+  private:
+    void run();
+
+    ShardClaims *claims_;
+    std::string key_;
+    std::atomic<bool> fenced_{false};
+    bool stop_ = false;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::thread thread_;
 };
 
 } // namespace ebm

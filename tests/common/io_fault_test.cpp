@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The injectable I/O shim: transparent without an injector, and each
+ * injected failure mode behaves exactly as documented — errno-shaped
+ * errors, the short write leaving exactly half the bytes, and the
+ * abort points killing the process with SIGKILL (verified in forked
+ * children, never in the test process).
+ */
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.hpp"
+#include "common/io_fault.hpp"
+
+namespace ebm {
+namespace {
+
+using Point = FaultInjector::Point;
+
+class IoShimTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "ebm_ioshim_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name();
+        std::remove(path_.c_str());
+        fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+        ASSERT_GE(fd_, 0);
+    }
+
+    void
+    TearDown() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        std::remove(path_.c_str());
+    }
+
+    std::uint64_t
+    fileSize() const
+    {
+        struct stat st = {};
+        EXPECT_EQ(::fstat(fd_, &st), 0);
+        return static_cast<std::uint64_t>(st.st_size);
+    }
+
+    std::string path_;
+    int fd_ = -1;
+};
+
+TEST_F(IoShimTest, TransparentWithoutInjector)
+{
+    IoShim io;
+    const std::string data(100, 'x');
+    EXPECT_TRUE(io.pwriteAll(fd_, 0, data.data(), data.size()).ok());
+    EXPECT_TRUE(io.fsyncFd(fd_).ok());
+    EXPECT_EQ(fileSize(), 100u);
+    EXPECT_TRUE(io.truncateFd(fd_, 10).ok());
+    EXPECT_EQ(fileSize(), 10u);
+}
+
+TEST_F(IoShimTest, EnospcFailsBeforeAnyByteLands)
+{
+    FaultInjector fi(7);
+    fi.armAfter(Point::IoEnospc, 0, 1);
+    IoShim io(&fi);
+    const std::string data(64, 'a');
+    const Status s = io.pwriteAll(fd_, 0, data.data(), data.size());
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::CacheIo);
+    EXPECT_NE(s.error().message.find("ENOSPC"), std::string::npos)
+        << s.error().message;
+    EXPECT_EQ(fileSize(), 0u) << "ENOSPC writes nothing";
+
+    // The schedule fired once; the next write is clean.
+    EXPECT_TRUE(io.pwriteAll(fd_, 0, data.data(), data.size()).ok());
+    EXPECT_EQ(fileSize(), 64u);
+}
+
+TEST_F(IoShimTest, EioFailsBeforeAnyByteLands)
+{
+    FaultInjector fi(7);
+    fi.armAfter(Point::IoEio, 0, 1);
+    IoShim io(&fi);
+    const std::string data(64, 'b');
+    const Status s = io.pwriteAll(fd_, 0, data.data(), data.size());
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("EIO"), std::string::npos);
+    EXPECT_EQ(fileSize(), 0u);
+}
+
+TEST_F(IoShimTest, ShortWriteLandsExactlyHalf)
+{
+    FaultInjector fi(7);
+    fi.armAfter(Point::IoShortWrite, 0, 1);
+    IoShim io(&fi);
+    const std::string data(100, 'c');
+    const Status s = io.pwriteAll(fd_, 0, data.data(), data.size());
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("short write"),
+              std::string::npos);
+    EXPECT_EQ(fileSize(), 50u)
+        << "the injected short write must leave a torn half";
+}
+
+TEST_F(IoShimTest, FsyncFailureIsReported)
+{
+    FaultInjector fi(7);
+    fi.armAfter(Point::IoFsyncFail, 0, 1);
+    IoShim io(&fi);
+    const Status s = io.fsyncFd(fd_);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("fsync"), std::string::npos);
+    EXPECT_TRUE(io.fsyncFd(fd_).ok()) << "one-shot schedule";
+}
+
+TEST_F(IoShimTest, OrdinalScheduleHitsTheNthWrite)
+{
+    FaultInjector fi(7);
+    fi.armAfter(Point::IoEio, 2, 1); // Third write fails.
+    IoShim io(&fi);
+    const std::string data(8, 'd');
+    EXPECT_TRUE(io.pwriteAll(fd_, 0, data.data(), data.size()).ok());
+    EXPECT_TRUE(io.pwriteAll(fd_, 8, data.data(), data.size()).ok());
+    EXPECT_FALSE(io.pwriteAll(fd_, 16, data.data(), data.size()).ok());
+    EXPECT_TRUE(io.pwriteAll(fd_, 16, data.data(), data.size()).ok());
+    EXPECT_EQ(fileSize(), 24u);
+}
+
+/** Run @p point armed in a forked child; expect SIGKILL and return
+ * the bytes the child's write left behind. */
+std::uint64_t
+abortPointInChild(const std::string &path, Point point)
+{
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+        FaultInjector fi(7);
+        fi.armAfter(point, 0, 1);
+        IoShim io(&fi);
+        const int fd =
+            ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+        const std::string data(100, 'k');
+        (void)io.pwriteAll(fd, 0, data.data(), data.size());
+        ::_exit(0); // Unreachable: the shim dies inside the write.
+    }
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status))
+        << "abort points must die, not exit";
+    if (WIFSIGNALED(status)) {
+        EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    }
+    struct stat st = {};
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+TEST_F(IoShimTest, AbortAfterWriteDiesWithCompleteBytes)
+{
+    EXPECT_EQ(abortPointInChild(path_, Point::IoAbortAfterWrite),
+              100u)
+        << "the write completes before the process dies";
+}
+
+TEST_F(IoShimTest, AbortMidWriteDiesWithTornBytes)
+{
+    EXPECT_EQ(abortPointInChild(path_, Point::IoAbortMidWrite), 50u)
+        << "exactly half the buffer lands before the process dies";
+}
+
+} // namespace
+} // namespace ebm

@@ -582,5 +582,179 @@ TEST_F(DiskCacheTest, InjectedTruncationRecoversAllButLastEntry)
     EXPECT_EQ(cache.loadReport().entriesSkipped, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Read-only degrade mode (EBM_CACHE_READONLY forces it, so the tests
+// hold even where permission bits don't apply, e.g. running as root).
+// ---------------------------------------------------------------------
+
+TEST_F(DiskCacheTest, ReadOnlyModeServesEntriesAndRefusesAppends)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("served", {1.0, 2.0});
+        cache.sync();
+    }
+    const std::string before = slurpFile(path_);
+
+    setenv("EBM_CACHE_READONLY", "1", 1);
+    {
+        DiskCache cache(path_);
+        EXPECT_TRUE(cache.readOnly());
+        EXPECT_TRUE(cache.loadReport().readOnlyMode);
+
+        // Reads work: the store still serves its entries.
+        ASSERT_TRUE(cache.get("served").has_value());
+        EXPECT_EQ(cache.get("served")->size(), 2u);
+
+        // Appends are refused with a structured error, but the entry
+        // stays warm in memory for this process.
+        const Status s = cache.tryPut("new", {3.0});
+        ASSERT_FALSE(s.ok());
+        EXPECT_EQ(s.error().code, Errc::CacheIo);
+        EXPECT_NE(s.error().message.find("read-only"),
+                  std::string::npos);
+        EXPECT_TRUE(cache.get("new").has_value());
+        EXPECT_EQ(cache.persistFailures(), 1u);
+
+        // put() is tryPut with the status dropped — same refusal.
+        cache.put("other", {4.0});
+        EXPECT_EQ(cache.persistFailures(), 2u);
+
+        // Compaction is refused without touching the file.
+        EXPECT_FALSE(cache.compact());
+    }
+    unsetenv("EBM_CACHE_READONLY");
+
+    EXPECT_EQ(slurpFile(path_), before)
+        << "read-only mode must never write a byte";
+    DiskCache reopened(path_);
+    EXPECT_FALSE(reopened.readOnly());
+    EXPECT_EQ(reopened.size(), 1u)
+        << "refused appends must not leak to disk";
+}
+
+TEST_F(DiskCacheTest, ReadOnlyModeWithNoFileIsAnEmptyStore)
+{
+    setenv("EBM_CACHE_READONLY", "1", 1);
+    DiskCache cache(path_);
+    unsetenv("EBM_CACHE_READONLY");
+    EXPECT_TRUE(cache.readOnly());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.get("anything").has_value());
+    EXPECT_FALSE(cache.tryPut("k", {1.0}).ok());
+}
+
+TEST_F(DiskCacheTest, ReadOnlyModeLeavesTornTailOnDisk)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("whole", {1.0});
+        cache.put("torn", {2.0});
+        cache.sync();
+    }
+    // Chop mid-frame: the online writable path would truncate this.
+    std::string bytes = slurpFile(path_);
+    bytes.resize(bytes.size() - 3);
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    setenv("EBM_CACHE_READONLY", "1", 1);
+    {
+        DiskCache cache(path_);
+        EXPECT_EQ(cache.size(), 1u);
+        EXPECT_TRUE(cache.loadReport().tornTailTruncated);
+    }
+    unsetenv("EBM_CACHE_READONLY");
+    EXPECT_EQ(slurpFile(path_), bytes)
+        << "read-only load must not repair the file";
+}
+
+// ---------------------------------------------------------------------
+// Injected I/O faults through the shim seam (common/io_fault.hpp).
+// ---------------------------------------------------------------------
+
+TEST_F(DiskCacheTest, InjectedEnospcFailsAppendAndKeepsEntryInMemory)
+{
+    FaultInjector fi(11);
+    // Query 0 is the header write of the first batch; failing it
+    // fails the whole append.
+    fi.armAfter(FaultInjector::Point::IoEnospc, 0, 1);
+    DiskCache cache(path_, &fi);
+    cache.put("k", {1.0});
+    EXPECT_EQ(cache.persistFailures(), 1u);
+    EXPECT_TRUE(cache.get("k").has_value());
+
+    // The next put retries from scratch and succeeds.
+    cache.put("k2", {2.0});
+    cache.sync();
+    DiskCache reopened(path_);
+    EXPECT_TRUE(reopened.get("k2").has_value());
+}
+
+TEST_F(DiskCacheTest, InjectedShortWriteRollsBackTheTornBatch)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("base", {1.0});
+        cache.sync();
+    }
+    const std::string before = slurpFile(path_);
+
+    FaultInjector fi(11);
+    // Query 0 is the batch append (header already exists).
+    fi.armAfter(FaultInjector::Point::IoShortWrite, 0, 1);
+    DiskCache cache(path_, &fi);
+    cache.put("torn", {2.0});
+    EXPECT_EQ(cache.persistFailures(), 1u);
+    EXPECT_EQ(slurpFile(path_), before)
+        << "the partial append must be truncated away";
+
+    // A clean store remains behind: full reload sees only the base.
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_FALSE(reopened.loadReport().tornTailTruncated);
+}
+
+TEST_F(DiskCacheTest, InjectedFsyncFailureCountsAsPersistFailure)
+{
+    FaultInjector fi(11);
+    fi.armAfter(FaultInjector::Point::IoFsyncFail, 0, 1);
+    DiskCache cache(path_, &fi);
+    cache.put("k", {1.0});
+    EXPECT_EQ(cache.persistFailures(), 1u);
+    // The batch write itself may have landed, but the cache refuses
+    // to count unsynced bytes as durable; the rollback truncated it.
+    DiskCache reopened(path_);
+    EXPECT_EQ(reopened.size(), 0u);
+}
+
+TEST_F(DiskCacheTest, NotedFencingEpochIsEchoedIntoTheHeader)
+{
+    {
+        DiskCache cache(path_);
+        cache.put("pre", {1.0});
+        cache.sync();
+        EXPECT_EQ(cache.loadReport().fencingEpoch, 0u);
+
+        cache.noteFencingEpoch(3);
+        cache.noteFencingEpoch(2); // Max wins; lower epochs ignored.
+        cache.put("post", {2.0});
+        cache.sync();
+    }
+    {
+        DiskCache reopened(path_);
+        EXPECT_EQ(reopened.loadReport().fencingEpoch, 3u)
+            << "appends after noteFencingEpoch stamp the header";
+        // Compaction renders the store canonical: epoch zeroed.
+        ASSERT_TRUE(reopened.compact());
+    }
+    DiskCache compacted(path_);
+    EXPECT_EQ(compacted.loadReport().fencingEpoch, 0u);
+    EXPECT_EQ(compacted.size(), 2u);
+}
+
 } // namespace
 } // namespace ebm

@@ -248,6 +248,183 @@ TEST_F(MultiprocessSweepTest, StaleClaimIsBrokenAndTakenOver)
 }
 
 // ---------------------------------------------------------------------
+// Fencing epochs: a stale owner that resumes after takeover cannot
+// double-release or clobber the newer epoch's claim.
+// ---------------------------------------------------------------------
+
+TEST_F(MultiprocessSweepTest, AcquireMintsMonotonicEpochs)
+{
+    ShardClaims claims(shared_path_);
+    ASSERT_TRUE(claims.tryAcquire("row"));
+    EXPECT_EQ(claims.ownedEpoch("row"), 1u);
+    EXPECT_EQ(claims.claimEpoch("row"), 1u);
+    EXPECT_TRUE(claims.release("row"));
+    EXPECT_EQ(claims.ownedEpoch("row"), 0u) << "released = not owned";
+
+    ASSERT_TRUE(claims.tryAcquire("row"));
+    EXPECT_EQ(claims.ownedEpoch("row"), 2u)
+        << "every acquisition bumps the durable epoch";
+    EXPECT_TRUE(claims.release("row"));
+}
+
+TEST_F(MultiprocessSweepTest, FencedOwnerCannotReleaseOrSkip)
+{
+    ShardClaims owner(shared_path_);
+    ASSERT_TRUE(owner.tryAcquire("row"));
+    EXPECT_EQ(owner.ownedEpoch("row"), 1u);
+
+    // The owner stalls past the staleness window; a waiter takes the
+    // row over under a bumped epoch.
+    ShardClaims waiter(shared_path_);
+    {
+        ScopedEnv stale("EBM_CLAIM_STALE_MS", "50");
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        ASSERT_TRUE(waiter.breakStale("row"));
+    }
+    EXPECT_EQ(waiter.ownedEpoch("row"), 2u);
+    EXPECT_EQ(waiter.claimEpoch("row"), 2u);
+
+    // The resumed stale owner is fenced on every verb: heartbeat
+    // refuses to freshen the newer claim, release leaves it in place,
+    // markSkipped writes no marker.
+    EXPECT_FALSE(owner.heartbeat("row"));
+    EXPECT_FALSE(owner.release("row"));
+    EXPECT_EQ(waiter.claimEpoch("row"), 2u)
+        << "the newer claim survives the stale owner's release";
+    EXPECT_EQ(waiter.peek("row"), ShardClaims::State::Active);
+    ASSERT_TRUE(owner.tryAcquire("other"));
+    EXPECT_FALSE(owner.markSkipped("row"));
+    EXPECT_FALSE(waiter.isSkipped("row"))
+        << "a fenced owner must not skip the new owner's row";
+
+    // The rightful owner's verbs still work.
+    EXPECT_TRUE(waiter.heartbeat("row"));
+    EXPECT_TRUE(waiter.release("row"));
+    EXPECT_TRUE(owner.release("other"));
+}
+
+TEST_F(MultiprocessSweepTest, TakeoverEpochReachesTheStoreHeader)
+{
+    // A takeover (epoch 2) noted on the cache is stamped into the
+    // header by the next append; compaction re-canonicalizes to 0.
+    ShardClaims dead(shared_path_);
+    ASSERT_TRUE(dead.tryAcquire("row"));
+    ShardClaims taker(shared_path_);
+    {
+        ScopedEnv stale("EBM_CLAIM_STALE_MS", "50");
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        ASSERT_TRUE(taker.breakStale("row"));
+    }
+
+    DiskCache cache(shared_path_);
+    cache.noteFencingEpoch(taker.ownedEpoch("row"));
+    cache.put("row", {1.0});
+    cache.sync();
+    EXPECT_TRUE(taker.release("row"));
+
+    {
+        DiskCache reopened(shared_path_);
+        EXPECT_EQ(reopened.loadReport().fencingEpoch, 2u);
+        ASSERT_TRUE(reopened.compact());
+    }
+    DiskCache compacted(shared_path_);
+    EXPECT_EQ(compacted.loadReport().fencingEpoch, 0u);
+}
+
+// ---------------------------------------------------------------------
+// In-run heartbeat: a row longer than the staleness window must not
+// look abandoned (the long-row staleness hole).
+// ---------------------------------------------------------------------
+
+TEST_F(MultiprocessSweepTest, HeartbeaterKeepsLongRowFreshAtTinyWindow)
+{
+    ScopedEnv stale("EBM_CLAIM_STALE_MS", "200");
+    ShardClaims owner(shared_path_);
+    ASSERT_TRUE(owner.tryAcquire("long-row"));
+
+    ShardClaims peer(shared_path_);
+    {
+        // The heartbeater spans a "run" three windows long; the peer
+        // polls throughout and must never see the claim go stale.
+        ClaimHeartbeater beat(&owner, "long-row");
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(650);
+        while (std::chrono::steady_clock::now() < until) {
+            EXPECT_NE(peer.peek("long-row"),
+                      ShardClaims::State::Stale)
+                << "in-run heartbeat lost the claim mid-row";
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        EXPECT_FALSE(beat.fenced());
+    }
+
+    // Control: with the heartbeater gone, the same silence makes the
+    // claim stale — proving the poll above was a real observation.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(peer.peek("long-row"), ShardClaims::State::Stale);
+    EXPECT_TRUE(owner.release("long-row"));
+}
+
+/**
+ * The regression scenario end-to-end: two cooperating processes, a
+ * 200 ms staleness window, and rows slowed well past the window. The
+ * deferring process must wait for the live owner (kept fresh by the
+ * in-run heartbeat) instead of "taking over" rows that are merely
+ * long — so each row is simulated exactly once across both processes.
+ */
+TEST_F(MultiprocessSweepTest, SlowRowsAtTinyWindowAreNotTakenOver)
+{
+    ScopedEnv shard("EBM_SWEEP_SHARD", "1");
+    ScopedEnv stale("EBM_CLAIM_STALE_MS", "200");
+
+    // Slow the simulation so one row comfortably exceeds the window
+    // (the tiny config runs ~7k cycles in single-digit milliseconds;
+    // 100x that is hundreds of milliseconds per row).
+    RunOptions slow = test::tinyOptions();
+    slow.warmupCycles = 1000;
+    slow.measureCycles = 700000;
+
+    const std::vector<std::uint32_t> ladder = {2};
+    std::vector<pid_t> kids;
+    for (int c = 0; c < 2; ++c) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            int rc = 0;
+            {
+                Runner runner(test::tinyConfig(2), slow);
+                DiskCache cache(shared_path_);
+                Exhaustive ex(runner, cache);
+                ex.setJobs(1);
+                const ComboTable t =
+                    ex.sweep(makePair("BLK", "TRD"), ladder);
+                if (t.combos.size() != 1 || t.isSkipped(0))
+                    rc = 2;
+                std::ofstream st(statusPath(c));
+                st << ex.status().simulated << "\n";
+            }
+            ::_exit(rc);
+        }
+        kids.push_back(pid);
+    }
+
+    std::size_t total_simulated = 0;
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+        int status = 0;
+        EXPECT_EQ(::waitpid(kids[c], &status, 0), kids[c]);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "child " << c;
+        std::ifstream st(statusPath(c));
+        std::size_t n = 0;
+        st >> n;
+        total_simulated += n;
+    }
+    EXPECT_EQ(total_simulated, 1u)
+        << "a long row was taken over from its live owner";
+}
+
+// ---------------------------------------------------------------------
 // Wait-phase behavior, driven deterministically in one process.
 // ---------------------------------------------------------------------
 

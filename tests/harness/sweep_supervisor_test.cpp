@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The sweep supervisor: clean runs settle immediately, crashed
+ * workers (nonzero exit or signal death) are restarted until they
+ * succeed, poison workers stop at the restart budget, hung workers
+ * (silent heartbeat file) are SIGKILLed and replaced, and workers
+ * inherit EBM_WORKER_HEARTBEAT pointing at their slot's file.
+ *
+ * Worker bodies run in forked children, so they communicate only
+ * through exit codes — never gtest assertions.
+ */
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep_supervisor.hpp"
+
+namespace ebm {
+namespace {
+
+void
+removeDirTree(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d != nullptr) {
+        while (struct dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name != "." && name != "..")
+                std::remove((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+class SweepSupervisorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        hb_dir_ = ::testing::TempDir() + "ebm_sup_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+                  ".hb";
+        removeDirTree(hb_dir_);
+    }
+
+    void TearDown() override { removeDirTree(hb_dir_); }
+
+    /** Fast-settling options for tests (no hang detection). */
+    static SweepSupervisor::Options
+    fastOptions(std::uint32_t workers)
+    {
+        SweepSupervisor::Options o;
+        o.workers = workers;
+        o.backoffBase = std::chrono::milliseconds(5);
+        o.backoffCap = std::chrono::milliseconds(20);
+        return o;
+    }
+
+    std::string hb_dir_;
+};
+
+TEST_F(SweepSupervisorTest, CleanWorkersSettleWithoutRestarts)
+{
+    SweepSupervisor sup(fastOptions(3));
+    const SweepSupervisor::Report report =
+        sup.run([](std::uint32_t, std::uint32_t) { return 0; });
+
+    EXPECT_TRUE(report.allSucceeded);
+    EXPECT_EQ(report.totalRestarts, 0u);
+    EXPECT_EQ(report.totalHangKills, 0u);
+    ASSERT_EQ(report.workers.size(), 3u);
+    for (const SweepSupervisor::WorkerReport &w : report.workers) {
+        EXPECT_TRUE(w.succeeded);
+        EXPECT_FALSE(w.budgetExhausted);
+        EXPECT_EQ(w.restarts, 0u);
+    }
+}
+
+TEST_F(SweepSupervisorTest, CrashingWorkerIsRestartedUntilItSucceeds)
+{
+    SweepSupervisor sup(fastOptions(2));
+    const SweepSupervisor::Report report =
+        sup.run([](std::uint32_t slot, std::uint32_t attempt) {
+            // Slot 0 needs three lives; slot 1 is clean.
+            if (slot == 0 && attempt < 2)
+                return 9;
+            return 0;
+        });
+
+    EXPECT_TRUE(report.allSucceeded);
+    EXPECT_EQ(report.totalRestarts, 2u);
+    EXPECT_EQ(report.workers[0].restarts, 2u);
+    EXPECT_TRUE(report.workers[0].succeeded);
+    EXPECT_EQ(report.workers[1].restarts, 0u);
+}
+
+TEST_F(SweepSupervisorTest, SignalDeathCountsAsACrash)
+{
+    SweepSupervisor sup(fastOptions(1));
+    const SweepSupervisor::Report report =
+        sup.run([](std::uint32_t, std::uint32_t attempt) {
+            if (attempt == 0)
+                ::kill(::getpid(), SIGKILL);
+            return 0;
+        });
+
+    EXPECT_TRUE(report.allSucceeded);
+    EXPECT_EQ(report.workers[0].restarts, 1u)
+        << "a SIGKILLed worker gets a replacement";
+}
+
+TEST_F(SweepSupervisorTest, PoisonWorkerStopsAtTheRestartBudget)
+{
+    SweepSupervisor::Options o = fastOptions(2);
+    o.maxRestarts = 3;
+    SweepSupervisor sup(o);
+    const SweepSupervisor::Report report =
+        sup.run([](std::uint32_t slot, std::uint32_t) {
+            return slot == 0 ? 7 : 0; // Slot 0 fails every life.
+        });
+
+    EXPECT_FALSE(report.allSucceeded);
+    EXPECT_TRUE(report.workers[0].budgetExhausted);
+    EXPECT_FALSE(report.workers[0].succeeded);
+    EXPECT_EQ(report.workers[0].restarts, 3u)
+        << "budget bounds replacement launches, not lives";
+    EXPECT_TRUE(report.workers[1].succeeded)
+        << "one poison slot must not poison its peers";
+    EXPECT_FALSE(report.summaryLine().empty());
+}
+
+TEST_F(SweepSupervisorTest, HungWorkerIsKilledAndReplaced)
+{
+    SweepSupervisor::Options o = fastOptions(1);
+    o.heartbeatDir = hb_dir_;
+    o.hangTimeout = std::chrono::milliseconds(150);
+    SweepSupervisor sup(o);
+
+    const SweepSupervisor::Report report =
+        sup.run([](std::uint32_t, std::uint32_t attempt) {
+            if (attempt == 0) {
+                // Alive but stuck: never touches the heartbeat file.
+                for (;;)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+            }
+            return 0;
+        });
+
+    EXPECT_TRUE(report.allSucceeded);
+    EXPECT_GE(report.totalHangKills, 1u);
+    EXPECT_GE(report.workers[0].restarts, 1u)
+        << "the hang kill must be followed by a replacement";
+}
+
+TEST_F(SweepSupervisorTest, WorkersInheritTheirSlotHeartbeatPath)
+{
+    SweepSupervisor::Options o = fastOptions(2);
+    o.heartbeatDir = hb_dir_;
+    o.hangTimeout = std::chrono::seconds(30); // Never fires here.
+    SweepSupervisor sup(o);
+
+    const std::string p0 = sup.heartbeatPath(0);
+    const std::string p1 = sup.heartbeatPath(1);
+    ASSERT_NE(p0, p1);
+
+    const SweepSupervisor::Report report =
+        sup.run([&sup](std::uint32_t slot, std::uint32_t) {
+            const char *env = std::getenv("EBM_WORKER_HEARTBEAT");
+            if (env == nullptr)
+                return 2;
+            return env == sup.heartbeatPath(slot) ? 0 : 3;
+        });
+
+    EXPECT_TRUE(report.allSucceeded)
+        << "children must see EBM_WORKER_HEARTBEAT = their slot file";
+
+    // The supervisor pre-touches each slot's file, so both exist.
+    struct stat st = {};
+    EXPECT_EQ(::stat(p0.c_str(), &st), 0);
+    EXPECT_EQ(::stat(p1.c_str(), &st), 0);
+}
+
+} // namespace
+} // namespace ebm
