@@ -8,6 +8,8 @@
  * Usage: coscheduling_advisor [APP1 APP2 ...]
  *        (defaults to BLK BFS TRD JPEG LUD)
  */
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,6 +37,19 @@ main(int argc, char **argv)
                          name.c_str());
             return 1;
         }
+    }
+    // A duplicate would be paired with itself below; reject it with a
+    // clear message instead of reporting a nonsense "A_A" row.
+    std::vector<std::string> sorted_names = names;
+    std::sort(sorted_names.begin(), sorted_names.end());
+    const auto dup =
+        std::adjacent_find(sorted_names.begin(), sorted_names.end());
+    if (dup != sorted_names.end()) {
+        std::fprintf(stderr,
+                     "app '%s' listed more than once; each candidate "
+                     "appears at most once\n",
+                     dup->c_str());
+        return 1;
     }
 
     Experiment exp(2);

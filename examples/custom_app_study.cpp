@@ -6,7 +6,9 @@
  * alone and under co-location with a catalog app. Demonstrates the
  * workload-modelling half of the public API.
  */
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "core/pbs_policy.hpp"
 #include "harness/experiment.hpp"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One-shot client for the advisor serving daemon (ebm_advised):
+ * frames the request tokens, sends them over the daemon's socket,
+ * prints the reply payload, and exits 0 on OK, 2 on PENDING (poll
+ * again with the printed ticket), 1 on anything else.
+ *
+ * Usage: ebm_advise_client [--socket PATH] VERB [TOKENS...]
+ *
+ *   ebm_advise_client ADVISE BFS FFT
+ *   ebm_advise_client ADVISE BFS FFT OBJ FI WAIT 60000
+ *   ebm_advise_client PAIR BLK BFS TRD OBJ WS
+ *   ebm_advise_client POLL 7
+ *   ebm_advise_client STATS
+ *   ebm_advise_client SHUTDOWN
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/net.hpp"
+#include "harness/serve_protocol.hpp"
+
+using namespace ebm;
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded("ebm_advise_client", [&] {
+        std::string socket_path = "ebm_advised.sock";
+        std::vector<std::string> tokens;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--socket" && i + 1 < argc)
+                socket_path = argv[++i];
+            else
+                tokens.push_back(arg);
+        }
+        if (tokens.empty()) {
+            fatal(Error{Errc::InvalidArgument,
+                        "no request given (see the file header for "
+                        "usage)"});
+        }
+        std::string payload;
+        for (const std::string &tok : tokens) {
+            if (!payload.empty())
+                payload += ' ';
+            payload += tok;
+        }
+
+        auto conn = netConnectUnix(socket_path);
+        if (!conn.ok())
+            fatal(conn.error());
+        const int fd = conn.value().get();
+        if (!servefmt::sendFrame(fd, payload)) {
+            fatal(Error{Errc::CacheIo,
+                        "failed to send request to " + socket_path});
+        }
+        servefmt::FrameReader reader;
+        std::string reply;
+        if (!servefmt::recvFrame(fd, reader, reply)) {
+            fatal(Error{Errc::CacheIo,
+                        "daemon closed the connection without a "
+                        "reply"});
+        }
+        std::printf("%s\n", reply.c_str());
+        if (reply.rfind("OK", 0) == 0)
+            return 0;
+        if (reply.rfind("PENDING", 0) == 0)
+            return 2;
+        return 1;
+    });
+}

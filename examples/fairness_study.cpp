@@ -6,6 +6,8 @@
  * scaled-EB balancing restores fairness that ++bestTLP destroys.
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/ccws.hpp"
 #include "core/dyncta.hpp"

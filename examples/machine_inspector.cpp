@@ -9,8 +9,10 @@
  * Usage: machine_inspector [APP1 APP2 [TLP1 TLP2]]
  *        (defaults to BLK BFS at each app's bestTLP-ish 6,6)
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"

@@ -8,6 +8,7 @@
  *   catalog -> Runner -> (StaticTlpPolicy | PbsPolicy) -> metrics.
  */
 #include <cstdio>
+#include <vector>
 
 #include "core/pbs_policy.hpp"
 #include "harness/experiment.hpp"

@@ -8,8 +8,11 @@
  *
  * Usage: tlp_landscape [APP1 APP2]    (defaults to BLK TRD)
  */
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "metrics/metrics.hpp"

@@ -11,6 +11,26 @@
 
 namespace ebm {
 
+bool
+parseUint(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr || text[0] == '\0')
+        return false;
+    // strtoull accepts leading whitespace and signs ("-1" wraps to a
+    // huge value); a knob is digits and nothing else.
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
 std::uint64_t
 envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
         std::uint64_t max)
@@ -18,10 +38,12 @@ envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
     const char *env = std::getenv(name);
     if (env == nullptr || env[0] == '\0')
         return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end == env || (end != nullptr && *end != '\0'))
+    std::uint64_t v = 0;
+    if (!parseUint(env, v)) {
+        warn(std::string(name) + ": ignoring invalid value '" + env +
+             "' (expected an unsigned integer)");
         return fallback;
+    }
     return std::clamp<std::uint64_t>(v, min, max);
 }
 

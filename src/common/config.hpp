@@ -142,10 +142,21 @@ struct GpuConfig
 };
 
 /**
+ * Strict unsigned-integer parse of @p text into @p out: the whole
+ * string must be a base-10 number — leading signs, trailing garbage
+ * ("8x"), and empty strings are rejected. The single parser behind
+ * every numeric knob (EBM_* env vars, --jobs, wire-protocol fields),
+ * so "accepts trailing garbage" bugs cannot creep in per call site.
+ */
+bool parseUint(const char *text, std::uint64_t &out);
+
+/**
  * Parse environment variable @p name as an unsigned integer clamped
- * to [@p min, @p max]; @p fallback when unset, empty, or garbage.
- * The shared parser behind every EBM_* numeric knob (EBM_CACHE_SHARDS,
- * EBM_CLAIM_STALE_MS, ...), so they all reject nonsense the same way.
+ * to [@p min, @p max]; @p fallback when unset, empty, or garbage
+ * (garbage is warned about — a knob the user set but mistyped should
+ * not be silently ignored). The shared parser behind every EBM_*
+ * numeric knob (EBM_JOBS, EBM_CACHE_SHARDS, EBM_CLAIM_STALE_MS, ...),
+ * so they all reject nonsense the same way.
  */
 std::uint64_t envUint(const char *name, std::uint64_t fallback,
                       std::uint64_t min, std::uint64_t max);

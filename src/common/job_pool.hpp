@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/config.hpp"
 #include "common/log.hpp"
 
 namespace ebm {
@@ -104,7 +105,11 @@ class JobPool
     /**
      * Resolved default concurrency: the process-wide override set by
      * setDefaultJobs() (the --jobs flag), else EBM_JOBS, else the
-     * hardware concurrency. Always >= 1.
+     * hardware concurrency. Always >= 1. EBM_JOBS goes through the
+     * shared strict envUint parser — "8x" is a warned-about rejection
+     * (falling back to hardware concurrency), never silently 8 — and
+     * an explicit 0 means "auto" (hardware concurrency), matching the
+     * constructor's 0 = defaultJobs() convention.
      */
     static unsigned
     defaultJobs()
@@ -113,15 +118,10 @@ class JobPool
             overrideJobs().load(std::memory_order_relaxed);
         if (override_jobs != 0)
             return override_jobs;
-        if (const char *env = std::getenv("EBM_JOBS")) {
-            const unsigned n =
-                static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-            if (n != 0)
-                return n;
-            if (env[0] != '\0')
-                warn("JobPool: ignoring invalid EBM_JOBS value '" +
-                     std::string(env) + "'");
-        }
+        const auto env_jobs = static_cast<unsigned>(
+            envUint("EBM_JOBS", 0, 0, 1u << 16));
+        if (env_jobs != 0)
+            return env_jobs;
         const unsigned hw = std::thread::hardware_concurrency();
         return hw != 0 ? hw : 1;
     }
@@ -210,9 +210,8 @@ applyJobsFlag(int argc, char *const argv[])
             value = arg.substr(7);
         else
             continue;
-        char *end = nullptr;
-        const unsigned long n = std::strtoul(value.c_str(), &end, 10);
-        if (value.empty() || end == nullptr || *end != '\0' || n == 0) {
+        std::uint64_t n = 0;
+        if (!parseUint(value.c_str(), n) || n == 0 || n > (1u << 16)) {
             warn("ignoring invalid --jobs value '" + value + "'");
             return JobPool::defaultJobs();
         }

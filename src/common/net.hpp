@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Minimal Unix-domain socket plumbing for the serving front door
+ * (harness/advisor_service.hpp): an RAII fd, a listener, a connector,
+ * and full-buffer read/write loops that survive EINTR and partial
+ * transfers. Deliberately tiny — no event loop, no TLS, no TCP — so
+ * the protocol layer above it can be tested byte-by-byte.
+ *
+ * All functions report failures through the structured error model
+ * (Error / Result-like return values), never exit; callers decide
+ * whether a dead peer is fatal.
+ */
+#pragma once
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ebm {
+
+/** RAII file descriptor (sockets here, but any fd works). */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+    ~UniqueFd() { reset(); }
+
+    UniqueFd(UniqueFd &&other) noexcept : fd_(other.release()) {}
+    UniqueFd &
+    operator=(UniqueFd &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void
+    reset(int fd = -1)
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Fill @p addr from @p path. @return false when the path is too long
+ * for sun_path (the classic 108-byte limit). */
+inline bool
+unixSockAddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/**
+ * Bind and listen on a Unix-domain socket at @p path. A stale socket
+ * file from a dead daemon is unlinked first (the caller is expected
+ * to own the path; two live daemons on one path is a deployment
+ * error this cannot detect).
+ */
+inline Result<UniqueFd>
+netListenUnix(const std::string &path, int backlog = 64)
+{
+    sockaddr_un addr;
+    if (!unixSockAddr(path, addr)) {
+        return Error{Errc::InvalidArgument,
+                     "socket path too long: " + path};
+    }
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        return Error{Errc::CacheIo, "socket() failed: " +
+                                        std::string(std::strerror(errno))};
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        return Error{Errc::CacheIo,
+                     "bind(" + path + ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        return Error{Errc::CacheIo,
+                     "listen(" + path + ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    return fd;
+}
+
+/** Connect to the Unix-domain socket at @p path. */
+inline Result<UniqueFd>
+netConnectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!unixSockAddr(path, addr)) {
+        return Error{Errc::InvalidArgument,
+                     "socket path too long: " + path};
+    }
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        return Error{Errc::CacheIo, "socket() failed: " +
+                                        std::string(std::strerror(errno))};
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        return Error{Errc::CacheIo,
+                     "connect(" + path + ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    return fd;
+}
+
+/** Accept one connection; retries EINTR. @return -1 when the listener
+ * was closed (the clean-shutdown path) or errored. */
+inline int
+netAccept(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+/**
+ * Write all @p len bytes of @p data to @p fd (MSG_NOSIGNAL, so a dead
+ * peer surfaces as an error, not SIGPIPE). @return false on any error.
+ */
+inline bool
+netWriteFull(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read up to @p len bytes into @p data; retries EINTR. @return bytes
+ * read (0 = orderly EOF), or -1 on error. One short recv is fine —
+ * the frame reader above this reassembles partial reads.
+ */
+inline ssize_t
+netRead(int fd, void *data, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, data, len, 0);
+        if (n >= 0)
+            return n;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+/** Block until @p fd is readable or @p timeout_ms elapses (-1 =
+ * forever). @return true when readable. */
+inline bool
+netWaitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+        if (rc == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+} // namespace ebm

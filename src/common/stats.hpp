@@ -7,6 +7,8 @@
  */
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace ebm {
@@ -58,5 +60,109 @@ totalRatio(const Counter &num, const Counter &den, double fallback = 0.0)
         return fallback;
     return static_cast<double>(num.total()) / static_cast<double>(den.total());
 }
+
+/**
+ * Lock-free log2-bucketed latency histogram (nanoseconds).
+ *
+ * Concurrent request handlers record() without coordination (one
+ * relaxed fetch_add each); percentile() walks the buckets and
+ * interpolates inside the winning one, so the answer is exact to
+ * within one power-of-two bucket — plenty for p50/p99 serving
+ * dashboards, and far cheaper than retaining every sample. Used by
+ * the advisor serving daemon's per-request instrumentation.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    /** Record one sample of @p ns nanoseconds. */
+    void
+    record(std::uint64_t ns)
+    {
+        buckets_[bucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Samples recorded so far. */
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Approximate @p q quantile (0 < q <= 1) in nanoseconds, linearly
+     * interpolated within the winning power-of-two bucket. 0 when no
+     * samples were recorded. A concurrent record() may be counted in
+     * count() but not yet visible in its bucket (or vice versa);
+     * readers get a snapshot that is exact once writers quiesce.
+     */
+    double
+    percentile(double q) const
+    {
+        std::array<std::uint64_t, kBuckets> snap{};
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            snap[i] = buckets_[i].load(std::memory_order_relaxed);
+            total += snap[i];
+        }
+        if (total == 0)
+            return 0.0;
+        const double target = q * static_cast<double>(total);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (snap[i] == 0)
+                continue;
+            const double next = seen + static_cast<double>(snap[i]);
+            if (next >= target) {
+                const double lo = bucketFloor(i);
+                const double hi = bucketCeil(i);
+                const double frac =
+                    (target - seen) / static_cast<double>(snap[i]);
+                return lo + (hi - lo) * frac;
+            }
+            seen = next;
+        }
+        return bucketCeil(kBuckets - 1);
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    /** Bucket i holds samples in [2^(i-1), 2^i) ns; bucket 0 is 0 ns. */
+    static std::size_t
+    bucketOf(std::uint64_t ns)
+    {
+        std::size_t b = 0;
+        while (ns > 0 && b < kBuckets - 1) {
+            ns >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    static double
+    bucketFloor(std::size_t i)
+    {
+        return i == 0 ? 0.0
+                      : static_cast<double>(1ull << (i - 1));
+    }
+
+    static double
+    bucketCeil(std::size_t i)
+    {
+        return i == 0 ? 1.0 : static_cast<double>(1ull << i);
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+};
 
 } // namespace ebm

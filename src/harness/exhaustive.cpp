@@ -53,6 +53,86 @@ Exhaustive::Exhaustive(const Runner &runner, DiskCache &cache)
 {
 }
 
+std::vector<TlpCombo>
+enumerateCombos(const std::vector<std::uint32_t> &levels,
+                std::uint32_t num_apps)
+{
+    // Odometer order: app 0 is the fastest-spinning digit. This
+    // enumeration fixes each combination's row up front so workers
+    // (and cooperating processes) commit results into pre-assigned
+    // slots.
+    std::vector<TlpCombo> combos;
+    std::vector<std::size_t> idx(num_apps, 0);
+    while (true) {
+        TlpCombo combo(num_apps);
+        for (std::uint32_t a = 0; a < num_apps; ++a)
+            combo[a] = levels[idx[a]];
+        combos.push_back(std::move(combo));
+
+        std::uint32_t pos = 0;
+        while (pos < num_apps) {
+            if (++idx[pos] < levels.size())
+                break;
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == num_apps)
+            break;
+    }
+    return combos;
+}
+
+namespace {
+
+/** Decode a validated cache vector back into a RunResult (the inverse
+ * of the encoding in Exhaustive::sweep's simulate path). */
+RunResult
+decodeComboRow(const std::vector<double> &v, const TlpCombo &combo,
+               std::uint32_t num_apps)
+{
+    RunResult result;
+    result.apps.resize(num_apps);
+    for (std::uint32_t a = 0; a < num_apps; ++a) {
+        result.apps[a].ipc = v[4 * a + 0];
+        result.apps[a].bw = v[4 * a + 1];
+        result.apps[a].l1Mr = v[4 * a + 2];
+        result.apps[a].l2Mr = v[4 * a + 3];
+        result.totalBw += result.apps[a].bw;
+    }
+    result.measuredCycles = static_cast<Cycle>(v.back());
+    result.finalTlp = combo;
+    return result;
+}
+
+} // namespace
+
+std::optional<ComboTable>
+Exhaustive::sweepCached(const Workload &wl,
+                        std::vector<std::uint32_t> levels) const
+{
+    const auto n =
+        static_cast<std::uint32_t>(resolveApps(wl).size());
+    if (levels.empty())
+        levels = GpuConfig::tlpLevels();
+
+    ComboTable table;
+    table.levels = levels;
+    table.combos = enumerateCombos(levels, n);
+    table.results.resize(table.combos.size());
+    table.skipped.assign(table.combos.size(), 0);
+
+    for (std::size_t row = 0; row < table.combos.size(); ++row) {
+        const std::string key =
+            runner_.comboKey(wl.name, table.combos[row]);
+        const auto cached = cache_.getValidated(key, 4u * n + 1);
+        if (!cached)
+            return std::nullopt;
+        table.results[row] = decodeComboRow(*cached,
+                                            table.combos[row], n);
+    }
+    return table;
+}
+
 std::uint32_t
 Exhaustive::jobs() const
 {
@@ -95,48 +175,15 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     table.levels = levels;
     SweepStatus sweep_status;
 
-    // Enumerate all |levels|^n combinations in odometer order; the
-    // enumeration fixes each combination's row up front so workers
-    // commit results into pre-assigned slots.
-    std::vector<std::size_t> idx(n, 0);
-    while (true) {
-        TlpCombo combo(n);
-        for (std::uint32_t a = 0; a < n; ++a)
-            combo[a] = levels[idx[a]];
-        table.combos.push_back(std::move(combo));
-
-        // Odometer increment.
-        std::uint32_t pos = 0;
-        while (pos < n) {
-            if (++idx[pos] < levels.size())
-                break;
-            idx[pos] = 0;
-            ++pos;
-        }
-        if (pos == n)
-            break;
-    }
+    table.combos = enumerateCombos(levels, n);
     const std::size_t total = table.combos.size();
     sweep_status.combos = total;
     table.results.resize(total);
     table.skipped.assign(total, 0);
 
-    // Decode a validated cache vector back into a RunResult (the
-    // inverse of the encoding in simulateTask below).
     const auto decode = [n](const std::vector<double> &v,
                             const TlpCombo &combo) {
-        RunResult result;
-        result.apps.resize(n);
-        for (std::uint32_t a = 0; a < n; ++a) {
-            result.apps[a].ipc = v[4 * a + 0];
-            result.apps[a].bw = v[4 * a + 1];
-            result.apps[a].l1Mr = v[4 * a + 2];
-            result.apps[a].l2Mr = v[4 * a + 3];
-            result.totalBw += result.apps[a].bw;
-        }
-        result.measuredCycles = static_cast<Cycle>(v.back());
-        result.finalTlp = combo;
-        return result;
+        return decodeComboRow(v, combo, n);
     };
 
     // Cross-process sharding (EBM_SWEEP_SHARD): rows are claimed at

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -115,6 +116,14 @@ enum class OptTarget : std::uint8_t {
     SumIpc,///< Instruction-throughput argmax (Observation 2 ablation).
 };
 
+/**
+ * All |levels|^n TLP combinations in odometer order — the one row
+ * order every sweep, probe, and shard-claim schedule shares.
+ */
+std::vector<TlpCombo>
+enumerateCombos(const std::vector<std::uint32_t> &levels,
+                std::uint32_t num_apps);
+
 /** Exhaustive-search service. */
 class Exhaustive
 {
@@ -153,6 +162,18 @@ class Exhaustive
      */
     ComboTable sweep(const Workload &wl,
                      std::vector<std::uint32_t> levels = {});
+
+    /**
+     * Probe-only sweep: assemble the full combination table for @p wl
+     * from the disk cache *without dispatching any simulation*.
+     * @return the table when every combination is present and valid,
+     * nullopt otherwise (never a partial table). The advisor serving
+     * daemon's hit path — a query answered in microseconds from the
+     * loaded store, falling back to an async sweep() only on miss.
+     */
+    std::optional<ComboTable>
+    sweepCached(const Workload &wl,
+                std::vector<std::uint32_t> levels = {}) const;
 
     /** Cumulative status across every sweep() on this instance. */
     const SweepStatus &status() const { return status_; }

@@ -24,6 +24,49 @@ ProfileDb::jobs() const
     return jobs_ != 0 ? jobs_ : JobPool::defaultJobs();
 }
 
+namespace {
+
+/** Fill bestTlp/ipcAtBest/ebAtBest from a fully populated ladder. */
+void
+finalizeBest(AppAloneProfile &prof)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < prof.perLevel.size(); ++i) {
+        if (prof.perLevel[i].ipc > prof.perLevel[best].ipc)
+            best = i;
+    }
+    prof.bestTlp = prof.levels[best];
+    prof.ipcAtBest = prof.perLevel[best].ipc;
+    prof.ebAtBest = prof.perLevel[best].eb();
+}
+
+} // namespace
+
+std::optional<AppAloneProfile>
+ProfileDb::profileCached(const AppProfile &app) const
+{
+    const auto it = profiles_.find(app.name);
+    if (it != profiles_.end())
+        return it->second;
+
+    AppAloneProfile prof;
+    prof.name = app.name;
+    prof.levels = GpuConfig::tlpLevels();
+    prof.perLevel.resize(prof.levels.size());
+    for (std::size_t i = 0; i < prof.levels.size(); ++i) {
+        const auto cached = cache_.getValidated(
+            runner_.aloneKey(app.name, prof.levels[i]), 4);
+        if (!cached)
+            return std::nullopt;
+        prof.perLevel[i].ipc = (*cached)[0];
+        prof.perLevel[i].bw = (*cached)[1];
+        prof.perLevel[i].l1Mr = (*cached)[2];
+        prof.perLevel[i].l2Mr = (*cached)[3];
+    }
+    finalizeBest(prof);
+    return prof;
+}
+
 const AppAloneProfile &
 ProfileDb::profile(const AppProfile &app)
 {
@@ -226,14 +269,7 @@ ProfileDb::profile(const AppProfile &app)
         }
     }
 
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < prof.perLevel.size(); ++i) {
-        if (prof.perLevel[i].ipc > prof.perLevel[best].ipc)
-            best = i;
-    }
-    prof.bestTlp = prof.levels[best];
-    prof.ipcAtBest = prof.perLevel[best].ipc;
-    prof.ebAtBest = prof.perLevel[best].eb();
+    finalizeBest(prof);
 
     auto [ins, ok] = profiles_.emplace(app.name, std::move(prof));
     (void)ok;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,17 @@ class ProfileDb
      * the cache file are bit-identical to a serial pass.
      */
     const AppAloneProfile &profile(const AppProfile &app);
+
+    /**
+     * Probe-only profile: assemble @p app's alone profile entirely
+     * from memory or the disk cache, *without simulating* missing
+     * levels. @return nullopt when any ladder level is absent (never
+     * a partial profile). Group assignment is not attempted (group
+     * stays 0, as in a fresh profile()). The advisor serving daemon's
+     * hit path.
+     */
+    std::optional<AppAloneProfile>
+    profileCached(const AppProfile &app) const;
 
     /** Worker threads per profile (0 = JobPool::defaultJobs()). */
     std::uint32_t jobs() const;

@@ -1,5 +1,7 @@
 #include "common/config.hpp"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
@@ -121,6 +123,42 @@ TEST(GpuConfigCheck, ReportsAllProblemsAtOnce)
 TEST(GpuConfigCheck, ValidConfigHasNoProblems)
 {
     EXPECT_TRUE(GpuConfig().check().empty());
+}
+
+TEST(ParseUint, AcceptsOnlyWholeBase10Numbers)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUint("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUint("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseUint("18446744073709551615", v));
+    EXPECT_EQ(v, 18446744073709551615ull);
+
+    v = 99;
+    EXPECT_FALSE(parseUint(nullptr, v));
+    EXPECT_FALSE(parseUint("", v));
+    EXPECT_FALSE(parseUint("8x", v)) << "trailing garbage";
+    EXPECT_FALSE(parseUint("x8", v));
+    EXPECT_FALSE(parseUint("-1", v)) << "signs are not digits";
+    EXPECT_FALSE(parseUint("+1", v));
+    EXPECT_FALSE(parseUint(" 7", v)) << "no leading whitespace";
+    EXPECT_FALSE(parseUint("3.5", v));
+    EXPECT_FALSE(parseUint("18446744073709551616", v)) << "overflow";
+    EXPECT_EQ(v, 99u) << "out untouched on rejection";
+}
+
+TEST(EnvUint, RejectsGarbageAndClamps)
+{
+    ::setenv("EBM_TEST_KNOB", "12", 1);
+    EXPECT_EQ(envUint("EBM_TEST_KNOB", 5, 1, 100), 12u);
+    ::setenv("EBM_TEST_KNOB", "12x", 1);
+    EXPECT_EQ(envUint("EBM_TEST_KNOB", 5, 1, 100), 5u)
+        << "trailing garbage falls back (with a warning)";
+    ::setenv("EBM_TEST_KNOB", "1000", 1);
+    EXPECT_EQ(envUint("EBM_TEST_KNOB", 5, 1, 100), 100u) << "clamped";
+    ::unsetenv("EBM_TEST_KNOB");
+    EXPECT_EQ(envUint("EBM_TEST_KNOB", 5, 1, 100), 5u);
 }
 
 } // namespace

@@ -116,6 +116,31 @@ TEST(JobPool, DefaultJobsPrefersOverrideThenEnv)
     EXPECT_GE(JobPool::defaultJobs(), 1u) << "hardware fallback";
 }
 
+TEST(JobPool, DefaultJobsRejectsTrailingGarbageInEnv)
+{
+    JobsEnvGuard guard;
+    JobPool::setDefaultJobs(0);
+
+    ::unsetenv("EBM_JOBS");
+    const unsigned fallback = JobPool::defaultJobs();
+
+    // The historical hand-rolled strtoul accepted "8x" as 8; the
+    // shared strict parser rejects it (with a warning) and falls back
+    // to the hardware default instead.
+    ::setenv("EBM_JOBS", "8x", 1);
+    EXPECT_EQ(JobPool::defaultJobs(), fallback);
+
+    ::setenv("EBM_JOBS", "-4", 1);
+    EXPECT_EQ(JobPool::defaultJobs(), fallback);
+
+    // An explicit 0 means "auto", like the constructor's 0.
+    ::setenv("EBM_JOBS", "0", 1);
+    EXPECT_EQ(JobPool::defaultJobs(), fallback);
+
+    ::setenv("EBM_JOBS", "6", 1);
+    EXPECT_EQ(JobPool::defaultJobs(), 6u);
+}
+
 TEST(JobPool, ApplyJobsFlagParsesTheSupportedSpellings)
 {
     JobsEnvGuard guard;

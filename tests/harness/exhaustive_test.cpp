@@ -106,7 +106,15 @@ class ExhaustiveSweepTest : public ::testing::Test
     void
     SetUp() override
     {
-        cache_path_ = ::testing::TempDir() + "ebm_sweep_cache.txt";
+        // Per-test path: gtest_discover_tests runs each TEST_F as its
+        // own ctest entry, so under `ctest -j` two of these can be
+        // live at once — a shared file would let one test's SetUp
+        // unlink the other's store mid-sweep.
+        cache_path_ = ::testing::TempDir() + "ebm_sweep_cache_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      ".txt";
         std::remove(cache_path_.c_str());
     }
 

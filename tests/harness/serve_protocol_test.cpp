@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Wire-protocol contract of the advisor serving daemon: frames
+ * reassemble byte-for-byte across arbitrary read boundaries;
+ * malformed, oversized, and corrupt frames are rejected as Bad (and
+ * the reader stays bad — no resynchronization on a garbled stream);
+ * a truncated frame is NeedMore, never Bad (the torn-vs-corrupt
+ * split); and sendFrame/recvFrame survive partial socket transfers.
+ */
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/serve_protocol.hpp"
+
+namespace ebm {
+namespace {
+
+using servefmt::FrameReader;
+
+TEST(ServeProtocolTest, RoundTripWholeFrame)
+{
+    const std::string payload = "ADVISE BFS FFT OBJ WS WAIT 500";
+    const std::string frame = servefmt::encodeFrame(payload);
+    EXPECT_EQ(frame.size(), servefmt::kFrameHeadBytes +
+                                payload.size() +
+                                servefmt::kFrameTailBytes);
+
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string out;
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(reader.buffered(), 0u);
+    EXPECT_EQ(reader.next(out), FrameReader::Status::NeedMore);
+}
+
+TEST(ServeProtocolTest, EmptyPayloadRoundTrips)
+{
+    const std::string frame = servefmt::encodeFrame("");
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string out = "sentinel";
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, "");
+}
+
+/** The partial-read contract: one byte at a time reassembles. */
+TEST(ServeProtocolTest, ByteByByteFeedReassembles)
+{
+    const std::string payload = "STATS";
+    const std::string frame = servefmt::encodeFrame(payload);
+    FrameReader reader;
+    std::string out;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        reader.feed(frame.data() + i, 1);
+        EXPECT_EQ(reader.next(out), FrameReader::Status::NeedMore)
+            << "complete after only " << i + 1 << " of "
+            << frame.size() << " bytes";
+    }
+    reader.feed(frame.data() + frame.size() - 1, 1);
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, payload);
+}
+
+TEST(ServeProtocolTest, PipelinedFramesExtractInOrder)
+{
+    const std::string frames = servefmt::encodeFrame("PING") +
+                               servefmt::encodeFrame("STATS") +
+                               servefmt::encodeFrame("POLL 7");
+    FrameReader reader;
+    reader.feed(frames.data(), frames.size());
+    std::string out;
+    ASSERT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, "PING");
+    ASSERT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, "STATS");
+    ASSERT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, "POLL 7");
+    EXPECT_EQ(reader.next(out), FrameReader::Status::NeedMore);
+}
+
+TEST(ServeProtocolTest, BadMagicIsBadAndSticky)
+{
+    std::string frame = servefmt::encodeFrame("PING");
+    frame[0] = 'X';
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string out, why;
+    EXPECT_EQ(reader.next(out, &why), FrameReader::Status::Bad);
+    EXPECT_NE(why.find("magic"), std::string::npos);
+
+    // Feeding a perfectly good frame afterwards cannot recover: the
+    // stream has no frame boundaries left to resynchronize on.
+    const std::string good = servefmt::encodeFrame("STATS");
+    reader.feed(good.data(), good.size());
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Bad);
+}
+
+TEST(ServeProtocolTest, OversizedDeclaredLengthIsBad)
+{
+    const std::uint32_t magic = servefmt::kFrameMagic;
+    const std::uint32_t huge = servefmt::kMaxPayloadBytes + 1;
+    std::string head;
+    head.append(reinterpret_cast<const char *>(&magic), 4);
+    head.append(reinterpret_cast<const char *>(&huge), 4);
+    FrameReader reader;
+    reader.feed(head.data(), head.size());
+    std::string out, why;
+    EXPECT_EQ(reader.next(out, &why), FrameReader::Status::Bad);
+    EXPECT_NE(why.find("oversized"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, CorruptPayloadFailsChecksum)
+{
+    std::string frame = servefmt::encodeFrame("ADVISE BFS FFT");
+    frame[servefmt::kFrameHeadBytes + 3] ^= 0x40; // flip payload bit
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string out, why;
+    EXPECT_EQ(reader.next(out, &why), FrameReader::Status::Bad);
+    EXPECT_NE(why.find("checksum"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, CorruptChecksumTailFails)
+{
+    std::string frame = servefmt::encodeFrame("ADVISE BFS FFT");
+    frame.back() = static_cast<char>(frame.back() ^ 0x01);
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string out;
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Bad);
+}
+
+/** Truncation is torn, not corrupt: NeedMore until bytes arrive. */
+TEST(ServeProtocolTest, TruncatedFrameIsNeedMoreNotBad)
+{
+    const std::string frame = servefmt::encodeFrame("STATS");
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size() - 1);
+    std::string out;
+    EXPECT_EQ(reader.next(out), FrameReader::Status::NeedMore);
+    EXPECT_EQ(reader.next(out), FrameReader::Status::NeedMore);
+    reader.feed(frame.data() + frame.size() - 1, 1);
+    EXPECT_EQ(reader.next(out), FrameReader::Status::Frame);
+    EXPECT_EQ(out, "STATS");
+}
+
+TEST(ServeProtocolTest, SplitTokens)
+{
+    const auto toks =
+        servefmt::splitTokens("  ADVISE  BFS\tFFT   WAIT 5 ");
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[0], "ADVISE");
+    EXPECT_EQ(toks[1], "BFS");
+    EXPECT_EQ(toks[2], "FFT");
+    EXPECT_EQ(toks[3], "WAIT");
+    EXPECT_EQ(toks[4], "5");
+    EXPECT_TRUE(servefmt::splitTokens("   ").empty());
+}
+
+/** sendFrame/recvFrame across a real socketpair, sender dribbling the
+ * frame in 3-byte chunks so recvFrame's reassembly loop is the thing
+ * under test, not the kernel's buffering. */
+TEST(ServeProtocolTest, RecvFrameReassemblesPartialSocketWrites)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string payload = "ADVISE BLK TRD OBJ HS";
+    const std::string frame = servefmt::encodeFrame(payload);
+
+    std::thread sender([&] {
+        for (std::size_t i = 0; i < frame.size(); i += 3) {
+            const std::size_t n = std::min<std::size_t>(
+                3, frame.size() - i);
+            ASSERT_TRUE(netWriteFull(fds[0], frame.data() + i, n));
+        }
+        ::close(fds[0]);
+    });
+
+    FrameReader reader;
+    std::string out;
+    EXPECT_TRUE(servefmt::recvFrame(fds[1], reader, out));
+    EXPECT_EQ(out, payload);
+    // The peer closed after one frame: the next read is clean EOF.
+    EXPECT_FALSE(servefmt::recvFrame(fds[1], reader, out));
+    sender.join();
+    ::close(fds[1]);
+}
+
+TEST(ServeProtocolTest, RecvFrameTimesOutOnSilentPeer)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameReader reader;
+    std::string out;
+    EXPECT_FALSE(servefmt::recvFrame(fds[1], reader, out, 50));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+} // namespace
+} // namespace ebm
