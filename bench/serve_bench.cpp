@@ -38,6 +38,7 @@
 #include "harness/exhaustive.hpp"
 #include "harness/profile_db.hpp"
 #include "harness/runner.hpp"
+#include "harness/warm_state.hpp"
 #include "workload/app_catalog.hpp"
 #include "workload/workload_suite.hpp"
 
@@ -285,6 +286,38 @@ main(int argc, char **argv)
             c.join();
         service.drainFills();
 
+        // --- Warm-checkpoint fill A/B: one cold what-if query with
+        // the warm-state fork on, one with it off. Each fill sweeps
+        // its own fresh shape, so the fork's win is intra-fill: the
+        // warmup prefix is simulated once and every combination forks
+        // from the capture instead of re-running it. Timed via a
+        // blocking ADVISE so the round trip spans the whole fill. ---
+        const auto timedColdFill = [&](const std::string &a,
+                                       const std::string &b) {
+            auto conn = netConnectUnix(socket_path);
+            if (!conn.ok())
+                return -1.0;
+            servefmt::FrameReader reader;
+            std::string reply;
+            const std::string req =
+                "ADVISE " + a + " " + b + " WAIT 590000";
+            const auto q0 = Clock::now();
+            if (!servefmt::sendFrame(conn.value().get(), req) ||
+                !servefmt::recvFrame(conn.value().get(), reader,
+                                     reply) ||
+                reply.rfind("OK", 0) != 0)
+                return -1.0;
+            const std::chrono::duration<double> dq =
+                Clock::now() - q0;
+            return dq.count();
+        };
+        const bool snap_was = WarmStateCache::enabled();
+        WarmStateCache::setEnabled(true);
+        const double fill_warm_s = timedColdFill("SRAD", "BP");
+        WarmStateCache::setEnabled(false);
+        const double fill_cold_s = timedColdFill("LPS", "HS");
+        WarmStateCache::setEnabled(snap_was);
+
         // --- Daemon-side stats + aggregation ---
         const AdvisorService::Stats s = service.stats();
         server.stop();
@@ -353,6 +386,15 @@ main(int argc, char **argv)
             << "    \"fills_dispatched\": " << s.fillsDispatched
             << ",\n"
             << "    \"fills_completed\": " << s.fillsCompleted << "\n"
+            << "  },\n"
+            << "  \"cold_query_fill\": {\n"
+            << "    \"description\": \"blocking cold ADVISE round "
+               "trip spanning the whole fill: warm-checkpoint "
+               "forking on (SRAD_BP) vs off / cold boot (LPS_HS)\",\n"
+            << "    \"warm_checkpoint_s\": " << fill_warm_s << ",\n"
+            << "    \"cold_boot_s\": " << fill_cold_s << ",\n"
+            << "    \"snapshot_hits\": " << s.snapshotHits << ",\n"
+            << "    \"snapshot_misses\": " << s.snapshotMisses << "\n"
             << "  },\n"
             << "  \"daemon_stats\": { \"requests\": " << s.requests
             << ", \"hits\": " << s.hits << ", \"misses\": "

@@ -30,6 +30,7 @@
 #include "harness/profile_db.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep_supervisor.hpp"
+#include "harness/warm_state.hpp"
 #include "workload/app_catalog.hpp"
 #include "workload/workload_suite.hpp"
 
@@ -114,6 +115,66 @@ BM_SweepEndToEnd(benchmark::State &state)
     GpuPool::setEnabled(pool_was);
 }
 BENCHMARK(BM_SweepEndToEnd)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+/**
+ * Warm-state forking on a warmup-heavy sweep: the same cold 64-combo
+ * fig01-shaped sweep as BM_SweepEndToEnd, but with a 12000-cycle
+ * warmup against a 6000-cycle measurement, so the shared prefix
+ * dominates. range(0) toggles EBM_SNAPSHOT: fork=off re-simulates the
+ * prefix 64 times (~64*(W+M) cycles of work); fork=on simulates it
+ * once and forks every combination from the capture (~W + 64*M).
+ * With W=2M the ideal ratio is ~3x; the recorded BENCH_sweep.json
+ * procedure (interleaved A/B, EXPERIMENTS.md) pins the achieved
+ * median. The standard sweep options (W=1000, M=6000) cap the ratio
+ * near 1.17x, which is why this benchmark carries its own options.
+ */
+void
+BM_SweepSnapshot(benchmark::State &state)
+{
+    const bool fork_on = state.range(0) != 0;
+    const bool snap_was = WarmStateCache::enabled();
+    WarmStateCache::setEnabled(fork_on);
+    WarmStateCache::instance().clear();
+
+    RunOptions opts = benchOptions();
+    opts.warmupCycles = 12000;
+    opts.measureCycles = 6000;
+    opts.windowCycles = 500;
+
+    const std::string path = "bench_sweep_snap.cache";
+    Runner runner(benchConfig(), opts);
+    const Workload wl = makePair("BFS", "FFT");
+
+    std::size_t simulated = 0;
+    const WarmStateCache::Stats before =
+        WarmStateCache::instance().stats();
+    for (auto _ : state) {
+        std::remove(path.c_str());
+        WarmStateCache::instance().clear();
+        DiskCache cache(path);
+        Exhaustive ex(runner, cache);
+        ex.sweep(wl);
+        simulated += ex.status().simulated;
+    }
+    const WarmStateCache::Stats after =
+        WarmStateCache::instance().stats();
+    state.SetLabel(fork_on ? "fork=on" : "fork=off");
+    state.SetItemsProcessed(static_cast<std::int64_t>(simulated));
+    state.counters["snapshot_hits"] =
+        static_cast<double>(after.hits - before.hits);
+    state.counters["snapshot_misses"] =
+        static_cast<double>(after.misses - before.misses);
+
+    std::remove(path.c_str());
+    WarmStateCache::instance().clear();
+    WarmStateCache::setEnabled(snap_was);
+}
+BENCHMARK(BM_SweepSnapshot)
     ->Arg(1)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond)

@@ -82,6 +82,34 @@ class EbMonitor
      */
     std::uint64_t invalidWindows() const { return invalidWindows_; }
 
+    /**
+     * The monitor's own mutable state: the window-start DRAM mark, the
+     * degraded-mode fallback sample, and the invalid-window tally. The
+     * observed machine is snapshotted separately (Gpu::snapshot); a
+     * restored monitor must be re-pointed at the restored machine by
+     * constructing it against that Gpu and then restoring this.
+     */
+    struct Snapshot
+    {
+        Cycle dramMark = 0;
+        EbSample lastGood;
+        std::uint64_t invalidWindows = 0;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{dramMark_, lastGood_, invalidWindows_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        dramMark_ = snap.dramMark;
+        lastGood_ = snap.lastGood;
+        invalidWindows_ = snap.invalidWindows;
+    }
+
   private:
     /** Validate @p sample; degrade and patch it if it is not sane. */
     void guardSample(EbSample &sample);

@@ -48,6 +48,7 @@ PbsPolicy::abandonSearch(Gpu &gpu, Cycle now)
 void
 PbsPolicy::startSearch(Gpu &gpu, Cycle now)
 {
+    pendingStart_ = false;
     search_ = std::make_unique<PbsSearch>(
         params_.objective, gpu.numApps(), GpuConfig::tlpLevels(),
         params_.scaling, params_.userScale);
@@ -81,13 +82,20 @@ PbsPolicy::apply(Gpu &gpu, Cycle now, const TlpCombo &combo)
 void
 PbsPolicy::onRunStart(Gpu &gpu)
 {
+    // Gpu-neutral by contract (startIsGpuNeutral): the machine is not
+    // touched here. The search — and its first probe combination — is
+    // started at the first window close, so the first window runs at
+    // default knobs and its sample is discarded (it measured no probe).
+    (void)gpu;
     applied_.clear();
     timeline_.clear();
     samples_ = 0;
     combosVisited_ = 0;
     searchesAbandoned_ = 0;
     degradedWindows_ = 0;
-    startSearch(gpu, 0);
+    search_.reset();
+    windowsSinceConverged_ = 0;
+    pendingStart_ = true;
 }
 
 EbSample
@@ -117,6 +125,15 @@ PbsPolicy::averagedSample() const
 void
 PbsPolicy::onWindow(Gpu &gpu, Cycle now, const EbSample &sample)
 {
+    if (pendingStart_) {
+        // The window that just closed ran at default knobs; it carries
+        // no probe signal, but it was still spent not-converged.
+        pendingStart_ = false;
+        ++samples_;
+        startSearch(gpu, now);
+        return;
+    }
+
     if (search_ == nullptr) {
         // Converged and holding. Optionally restart the search
         // periodically to track phase changes.

@@ -72,6 +72,15 @@ class PbsPolicy : public TlpPolicy
     void onWindow(Gpu &gpu, Cycle now, const EbSample &sample) override;
     void onKernelRelaunch(Gpu &gpu, Cycle now) override;
 
+    /**
+     * onRunStart only resets the policy's counters and arms the
+     * search; the first probe combination is applied at the first
+     * window close. The first window therefore runs at default knobs
+     * — the same trajectory for every PBS variant — so the harness
+     * can fork PBS runs from a shared warm checkpoint there.
+     */
+    bool startIsGpuNeutral() const override { return true; }
+
     std::string name() const override;
 
     /** Sampling windows consumed by searching (overhead accounting). */
@@ -81,7 +90,7 @@ class PbsPolicy : public TlpPolicy
     std::uint32_t combosVisited() const { return combosVisited_; }
 
     /** Has the search settled on a combination? */
-    bool converged() const { return search_ == nullptr; }
+    bool converged() const { return search_ == nullptr && !pendingStart_; }
 
     /** Searches abandoned by the watchdog (fallback applied). */
     std::uint32_t searchesAbandoned() const { return searchesAbandoned_; }
@@ -110,6 +119,8 @@ class PbsPolicy : public TlpPolicy
 
     Params params_;
     std::unique_ptr<PbsSearch> search_;
+    /** Armed by onRunStart; the first window close starts the search. */
+    bool pendingStart_ = false;
     TlpCombo applied_;
     std::uint32_t samples_ = 0;
     std::uint32_t combosVisited_ = 0;

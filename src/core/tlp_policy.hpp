@@ -55,6 +55,26 @@ class TlpPolicy
 
     /** Samples consumed by searching (0 for static schemes). */
     virtual std::uint32_t samplesTaken() const { return 0; }
+
+    /**
+     * A policy returning true has its onRunStart deferred to the start
+     * of the measurement span (the first window close at or after
+     * warmup) instead of cycle 0. The warmup prefix then runs at
+     * construction-default knobs for every such policy — which is what
+     * lets the harness simulate that shared prefix once, snapshot it,
+     * and fork per combination (see WarmStateCache). Only meaningful
+     * for policies whose onWindow/onKernelRelaunch are no-ops while
+     * not started (StaticTlpPolicy qualifies trivially).
+     */
+    virtual bool defersToMeasureStart() const { return false; }
+
+    /**
+     * True when onRunStart mutates only the policy's own state, never
+     * the machine. The harness may then fork such a run from a warm
+     * checkpoint at the first window close: the first window runs at
+     * construction-default knobs either way.
+     */
+    virtual bool startIsGpuNeutral() const { return false; }
 };
 
 /** Fixed TLP combination applied at run start (bestTLP, maxTLP, opt*). */
@@ -72,6 +92,16 @@ class StaticTlpPolicy : public TlpPolicy
         for (AppId app = 0; app < gpu.numApps(); ++app)
             gpu.setAppTlp(app, combo_[app]);
     }
+
+    /**
+     * The combo is applied at measure start, not at cycle 0: every
+     * static combination then shares one default-knob warmup prefix,
+     * which the harness simulates once and forks (the warmup span is
+     * excluded from measurement for every scheme, so scores compare
+     * exactly as before; cached results are invalidated via the
+     * Runner fingerprint bump).
+     */
+    bool defersToMeasureStart() const override { return true; }
 
     std::string name() const override { return name_; }
 

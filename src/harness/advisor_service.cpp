@@ -8,6 +8,7 @@
 
 #include "common/config.hpp"
 #include "common/log.hpp"
+#include "harness/warm_state.hpp"
 #include "workload/app_catalog.hpp"
 #include "workload/workload_suite.hpp"
 
@@ -266,6 +267,13 @@ AdvisorService::fillLoop()
         bool ok = true;
         Error err{Errc::Internal, ""};
         Answer ans;
+        // Attribute warm-checkpoint traffic to this fill: fills are
+        // serialized on this thread and probe-side queries never run
+        // the simulator, so the process-wide cache's counter movement
+        // across the fill is exactly the fill's own usage (including
+        // its worker threads').
+        const WarmStateCache::Stats warmBefore =
+            WarmStateCache::instance().stats();
         try {
             const std::vector<AppProfile> apps = resolveApps(wl);
             std::vector<AppAloneProfile> profs;
@@ -282,8 +290,14 @@ AdvisorService::fillLoop()
                  e.error().toString());
         }
 
+        const WarmStateCache::Stats warmAfter =
+            WarmStateCache::instance().stats();
+
         {
             std::lock_guard<std::mutex> lk(mu_);
+            counters_.snapshotHits += warmAfter.hits - warmBefore.hits;
+            counters_.snapshotMisses +=
+                warmAfter.misses - warmBefore.misses;
             if (ok) {
                 ++counters_.fillsCompleted;
                 memo_[wl.name] = std::move(ans);
@@ -740,6 +754,8 @@ AdvisorServer::handleStats()
         << " fills_dispatched=" << s.fillsDispatched
         << " fills_completed=" << s.fillsCompleted
         << " fills_failed=" << s.fillsFailed
+        << " snapshot_hits=" << s.snapshotHits
+        << " snapshot_misses=" << s.snapshotMisses
         << " latency_samples=" << s.latencySamples
         << " p50_us=" << formatDouble(s.p50us)
         << " p90_us=" << formatDouble(s.p90us)

@@ -141,6 +141,14 @@ class AdvisorService
         std::uint64_t fillsDispatched = 0;
         std::uint64_t fillsCompleted = 0;
         std::uint64_t fillsFailed = 0;
+        /** Warm-checkpoint forks served from the process-wide
+         *  WarmStateCache during fills (a cold what-if query whose
+         *  warmup prefix was already simulated starts from the stored
+         *  fork instead of a cold boot). */
+        std::uint64_t snapshotHits = 0;
+        /** Warm-checkpoint captures computed during fills (first run
+         *  of a shape, or the cache was disabled/evicted). */
+        std::uint64_t snapshotMisses = 0;
         std::uint64_t latencySamples = 0; ///< Framed requests timed.
         double p50us = 0.0, p90us = 0.0, p99us = 0.0;
     };

@@ -1,11 +1,13 @@
 #include "harness/runner.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "common/fault_injector.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "harness/gpu_pool.hpp"
+#include "harness/warm_state.hpp"
 #include "sim/gpu.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -13,8 +15,11 @@ namespace ebm {
 
 namespace {
 
+/** EB-monitor relay latency used by every measured run. */
+constexpr Cycle kRelayLatency = 100;
+
 /** Absolute counter totals at a point in time, per app. */
-struct Snapshot
+struct CounterTotals
 {
     std::vector<std::uint64_t> instrs;
     std::vector<std::uint64_t> dataCycles;
@@ -23,11 +28,11 @@ struct Snapshot
     Cycle dramCycles = 0;
 };
 
-Snapshot
+CounterTotals
 takeSnapshot(const Gpu &gpu)
 {
     const std::uint32_t n = gpu.numApps();
-    Snapshot s;
+    CounterTotals s;
     s.instrs.resize(n);
     s.dataCycles.resize(n);
     s.l1Acc.resize(n);
@@ -54,7 +59,8 @@ takeSnapshot(const Gpu &gpu)
 }
 
 RunResult
-diffSnapshots(const Gpu &gpu, const Snapshot &a, const Snapshot &b)
+diffSnapshots(const Gpu &gpu, const CounterTotals &a,
+              const CounterTotals &b)
 {
     const std::uint32_t n = gpu.numApps();
     RunResult r;
@@ -95,6 +101,48 @@ diffSnapshots(const Gpu &gpu, const Snapshot &a, const Snapshot &b)
     return r;
 }
 
+/**
+ * Content hash of one application profile. Keying the warm cache by
+ * profile *content* (not name) means a test's custom profile named
+ * like a catalog one can never alias a foreign checkpoint.
+ */
+std::uint64_t
+profileContentHash(const AppProfile &p)
+{
+    std::uint64_t h =
+        hashIds(p.seed, p.mlpBurst, p.computeRun, p.storesPerLoop);
+    h = hashIds(h, std::bit_cast<std::uint64_t>(p.fracL1Reuse),
+                std::bit_cast<std::uint64_t>(p.fracL2Reuse),
+                std::bit_cast<std::uint64_t>(p.fracRandom));
+    h = hashIds(h, p.l1ReuseLines, p.l2ReuseLines,
+                p.streamRegionLines);
+    h = hashIds(h, p.randomRegionLines, p.randomLinesPerAccess);
+    for (const char c : p.name)
+        h = hashIds(h, static_cast<std::uint64_t>(c));
+    return h;
+}
+
+/**
+ * In-memory key of the policy-neutral warm prefix: everything its
+ * trajectory depends on — the machine (full config hash), the window
+ * length, the relay latency, each profile's content, and the core
+ * split. Deliberately *not* warmup/measure/relaunch: the prefix is
+ * policy- and span-free, so runs with different spans share captures.
+ */
+std::uint64_t
+warmBaseKey(const GpuConfig &cfg, const std::vector<AppProfile> &apps,
+            const std::vector<std::uint32_t> &core_share,
+            Cycle window_cycles)
+{
+    std::uint64_t h =
+        hashIds(configHash(cfg), window_cycles, kRelayLatency, 0x3a97);
+    for (const AppProfile &p : apps)
+        h = hashIds(h, profileContentHash(p));
+    for (const std::uint32_t s : core_share)
+        h = hashIds(h, s, 0x5c0e);
+    return h;
+}
+
 } // namespace
 
 Runner::Runner(GpuConfig cfg, RunOptions opts)
@@ -116,6 +164,9 @@ Runner::run(const std::vector<AppProfile> &apps, TlpPolicy &policy,
 {
     GpuConfig cfg = cfg_;
     cfg.numApps = static_cast<std::uint32_t>(apps.size());
+    const Cycle win = opts_.windowCycles;
+    const std::uint64_t base_key =
+        warmBaseKey(cfg, apps, core_share, win);
     // Lease the machine from this worker's pool: a repeat of the same
     // (config, apps, core share) reuses a reset instance instead of
     // reconstructing one. If this run throws, the lease destructor
@@ -135,45 +186,124 @@ Runner::run(const std::vector<AppProfile> &apps, TlpPolicy &policy,
     }
 
     EbMonitor monitor(gpu, EbMonitor::Mode::DesignatedUnits,
-                      /*relay_latency=*/100, opts_.faultInjector);
-    policy.onRunStart(gpu);
-    gpu.checkpoint();
+                      kRelayLatency, opts_.faultInjector);
 
     const Cycle total = opts_.warmupCycles + opts_.measureCycles;
-    Snapshot start{};
+    const bool deferred = policy.defersToMeasureStart();
+
+    // Warm-state forking: the prefix up to the fork target is policy-
+    // neutral (a deferred policy touches nothing before measure start;
+    // a gpu-neutral-start policy touches nothing before the first
+    // window close), so it can be simulated once per shape, captured,
+    // and restored here instead of re-run per combination. Disabled by
+    // the EBM_SNAPSHOT kill switch and whenever a fault injector is
+    // present (injected faults must perturb the whole run).
+    Cycle fork_target = 0;
+    if (WarmStateCache::enabled() && opts_.faultInjector == nullptr) {
+        if (deferred) {
+            // The measure boundary on the window ladder: the first
+            // window close at or after warmup, capped at the run end.
+            const Cycle ladder =
+                ((opts_.warmupCycles + win - 1) / win) * win;
+            fork_target =
+                std::min(total, std::max<Cycle>(win, ladder));
+        } else if (policy.startIsGpuNeutral()) {
+            fork_target = std::min(total, win);
+        }
+    }
+
+    // A deferred policy's onRunStart moves to measure start; all
+    // others keep the cycle-0 call (gpu-neutral ones by contract only
+    // touch their own state here).
+    if (!deferred)
+        policy.onRunStart(gpu);
+
+    EbSample sample{};
+    Cycle elapsed = 0;
+    bool pending = false;
+
+    if (fork_target != 0) {
+        using Checkpoint = WarmStateCache::Checkpoint;
+        WarmStateCache &cache = WarmStateCache::instance();
+        // First level: a checkpoint retained with the leased machine
+        // (lock-free). Second level: the process-wide cache, which
+        // single-flights the warm simulation on a miss.
+        const std::uint64_t retain_key = hashIds(base_key, fork_target);
+        std::shared_ptr<const Checkpoint> cp =
+            std::static_pointer_cast<const Checkpoint>(
+                lease.retainedSnapshot(retain_key));
+        if (cp != nullptr) {
+            cache.noteHit();
+        } else {
+            cp = cache.warmTo(base_key, gpu, fork_target, win,
+                              kRelayLatency);
+            if (cp != nullptr) {
+                lease.retainSnapshot(retain_key, cp, cp->heapBytes());
+            }
+        }
+        if (cp != nullptr) {
+            gpu.restore(cp->gpu);
+            monitor.restore(cp->monitor);
+            sample = cp->sample;
+            elapsed = cp->elapsed;
+            pending = true;
+        }
+    }
+    if (!pending)
+        gpu.checkpoint();
+
+    CounterTotals start{};
     bool measuring = false;
     Cycle next_relaunch = opts_.relaunchInterval == 0
                               ? kNeverCycle
                               : opts_.relaunchInterval;
-
-    Cycle elapsed = 0;
-    while (elapsed < total) {
-        const Cycle chunk =
-            std::min<Cycle>(opts_.windowCycles, total - elapsed);
-        gpu.run(chunk);
-        elapsed += chunk;
-
-        // Close the sampling window and let the policy act (the
-        // policy may also read window counters, so the checkpoint
-        // happens after it runs). The sample reflects the window just
-        // finished, so decisions are always one window behind reality
-        // — the monitor's relay latency (~100 cycles) is folded into
-        // this delay.
-        const EbSample sample = monitor.closeWindow(gpu.now());
-        policy.onWindow(gpu, gpu.now(), sample);
-        gpu.checkpoint();
-
-        if (!measuring && elapsed >= opts_.warmupCycles) {
-            start = takeSnapshot(gpu);
-            measuring = true;
-        }
-        if (elapsed >= next_relaunch) {
-            policy.onKernelRelaunch(gpu, gpu.now());
+    // Replay the relaunch arithmetic over the skipped prefix closes
+    // (integer-only; the policy callbacks there were no-ops by the
+    // neutrality contract). All skipped closes are full windows.
+    for (Cycle e = win; e < elapsed; e += win) {
+        if (e >= next_relaunch)
             next_relaunch += opts_.relaunchInterval;
-        }
     }
 
-    const Snapshot end = takeSnapshot(gpu);
+    // The loop is phrased tail-first: each iteration finishes the
+    // window that last closed (policy callback, counter checkpoint,
+    // measurement start, relaunch check) before running the next
+    // chunk. A restored run enters with `pending` set and the fork
+    // point's sample, so its first iteration performs exactly the
+    // tail the capture cut in half — the call sequence is identical
+    // to the cold run's.
+    while (true) {
+        if (pending) {
+            pending = false;
+            // Let the policy act on the closed window (it may also
+            // read window counters, so the checkpoint happens after
+            // it runs). The sample reflects the window just finished,
+            // so decisions are always one window behind reality — the
+            // monitor's relay latency (~100 cycles) is folded into
+            // this delay.
+            policy.onWindow(gpu, gpu.now(), sample);
+            gpu.checkpoint();
+            if (!measuring && elapsed >= opts_.warmupCycles) {
+                if (deferred)
+                    policy.onRunStart(gpu);
+                start = takeSnapshot(gpu);
+                measuring = true;
+            }
+            if (elapsed >= next_relaunch) {
+                policy.onKernelRelaunch(gpu, gpu.now());
+                next_relaunch += opts_.relaunchInterval;
+            }
+        }
+        if (elapsed >= total)
+            break;
+        const Cycle chunk = std::min<Cycle>(win, total - elapsed);
+        gpu.run(chunk);
+        elapsed += chunk;
+        sample = monitor.closeWindow(gpu.now());
+        pending = true;
+    }
+
+    const CounterTotals end = takeSnapshot(gpu);
     RunResult result = diffSnapshots(gpu, start, end);
     result.samplesTaken = policy.samplesTaken();
     return result;
@@ -208,8 +338,11 @@ Runner::fingerprint() const
     // silently excluded DRAM timings, cache associativity/line size,
     // latencies, and more — two different machines could share a
     // cache key) to configHash over every GpuConfig field plus every
-    // RunOptions field.
-    constexpr std::uint64_t kFingerprintVersion = 2;
+    // RunOptions field. v3: static policies now apply their TLP combo
+    // at measure start instead of cycle 0 (the warm-state fork
+    // change), which shifts every measured number; results cached
+    // under the old semantics must not alias the new ones.
+    constexpr std::uint64_t kFingerprintVersion = 3;
 
     std::uint64_t h = configHash(cfg_);
     h = hashIds(h, opts_.warmupCycles, opts_.measureCycles,

@@ -156,12 +156,65 @@ class CrossbarNetwork
         voqFlits_ = 0;
     }
 
-  private:
     struct InFlight
     {
         Cycle readyAt;
         T payload;
     };
+
+    /**
+     * Every queued or in-flight flit plus the allocator's round-robin
+     * pointers and occupancy masks. VOQ ring buffers are copied whole
+     * (they are plain values), so head offsets — irrelevant to FIFO
+     * semantics but cheap to keep — restore exactly.
+     */
+    struct Snapshot
+    {
+        std::vector<RingBuffer<T>> voqs;
+        std::vector<std::uint32_t> grantPointer;
+        std::vector<std::uint64_t> inputMask;
+        std::vector<std::queue<InFlight>> outputReady;
+        std::size_t voqFlits = 0;
+
+        std::size_t
+        heapBytes() const
+        {
+            std::size_t n = voqs.capacity() * sizeof(RingBuffer<T>) +
+                            grantPointer.capacity() * sizeof(std::uint32_t) +
+                            inputMask.capacity() * sizeof(std::uint64_t) +
+                            outputReady.capacity() *
+                                sizeof(std::queue<InFlight>);
+            for (const auto &q : voqs)
+                n += q.capacity() * sizeof(T);
+            for (const auto &q : outputReady)
+                n += q.size() * sizeof(InFlight);
+            return n;
+        }
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{voqs_, grantPointer_, inputMask_, outputReady_,
+                        voqFlits_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        if (snap.voqs.size() != voqs_.size() ||
+            snap.grantPointer.size() != grantPointer_.size() ||
+            snap.inputMask.size() != inputMask_.size() ||
+            snap.outputReady.size() != outputReady_.size())
+            fatal("CrossbarNetwork: snapshot shape mismatch");
+        voqs_ = snap.voqs;
+        grantPointer_ = snap.grantPointer;
+        inputMask_ = snap.inputMask;
+        outputReady_ = snap.outputReady;
+        voqFlits_ = snap.voqFlits;
+    }
+
+  private:
 
     static constexpr std::uint32_t kNoInput = 0xffffffffu;
 
@@ -277,6 +330,32 @@ class Crossbar
     {
         request_.clear();
         response_.clear();
+    }
+
+    /** Both directions' full queue and allocator state. */
+    struct Snapshot
+    {
+        CrossbarNetwork<MemRequest>::Snapshot request;
+        CrossbarNetwork<MemResponse>::Snapshot response;
+
+        std::size_t
+        heapBytes() const
+        {
+            return request.heapBytes() + response.heapBytes();
+        }
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{request_.snapshot(), response_.snapshot()};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        request_.restore(snap.request);
+        response_.restore(snap.response);
     }
 
   private:

@@ -104,6 +104,44 @@ class Cache
     /** Drop all cached state and in-flight bookkeeping. */
     void reset();
 
+    /**
+     * Tags + MSHRs + statistics + the stall generation. The
+     * generation is part of the contract: schedulers cache it in
+     * per-warp stall records, so a restored machine must present the
+     * same value the cold run would (warps restored alongside carry
+     * matching recorded generations).
+     */
+    struct Snapshot
+    {
+        TagArray::Snapshot tags;
+        MshrFile::Snapshot mshrs;
+        CacheStats::Snapshot stats;
+        std::uint64_t gen = 0;
+
+        std::size_t
+        heapBytes() const
+        {
+            return tags.heapBytes() + mshrs.heapBytes() +
+                   stats.heapBytes();
+        }
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{tags_.snapshot(), mshrs_.snapshot(),
+                        stats_.snapshot(), gen_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        tags_.restore(snap.tags);
+        mshrs_.restore(snap.mshrs);
+        stats_.restore(snap.stats);
+        gen_ = snap.gen;
+    }
+
   private:
     TagArray tags_;
     MshrFile mshrs_;

@@ -83,6 +83,34 @@ class CacheStats
             c.reset();
     }
 
+    /**
+     * Both totals and window checkpoints, so a restored machine's
+     * next windowed miss rate equals the cold run's.
+     */
+    struct Snapshot
+    {
+        std::vector<Counter> accesses;
+        std::vector<Counter> misses;
+
+        std::size_t
+        heapBytes() const
+        {
+            return (accesses.capacity() + misses.capacity()) *
+                   sizeof(Counter);
+        }
+    };
+
+    Snapshot snapshot() const { return Snapshot{accesses_, misses_}; }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        if (snap.accesses.size() != accesses_.size())
+            fatal("CacheStats: snapshot app-count mismatch");
+        accesses_ = snap.accesses;
+        misses_ = snap.misses;
+    }
+
   private:
     std::vector<Counter> accesses_;
     std::vector<Counter> misses_;

@@ -246,4 +246,42 @@ DramChannel::reset()
     serviced_.reset();
 }
 
+DramChannel::Snapshot
+DramChannel::snapshot() const
+{
+    Snapshot snap;
+    snap.now = now_;
+    snap.busFreeAt = busFreeAt_;
+    snap.lastActivateAt = lastActivateAt_;
+    snap.scanSkipUntil = scanSkipUntil_;
+    snap.banks = banks_;
+    snap.lastColumnInGroup = lastColumnInGroup_;
+    snap.queue = queue_;
+    snap.dataCycles = dataCycles_;
+    snap.rowHits = rowHits_;
+    snap.rowMisses = rowMisses_;
+    snap.serviced = serviced_;
+    return snap;
+}
+
+void
+DramChannel::restore(const Snapshot &snap)
+{
+    if (snap.banks.size() != banks_.size() ||
+        snap.dataCycles.size() != dataCycles_.size() ||
+        snap.queue.size() > queueCap_)
+        fatal("DramChannel: snapshot shape mismatch");
+    now_ = snap.now;
+    busFreeAt_ = snap.busFreeAt;
+    lastActivateAt_ = snap.lastActivateAt;
+    scanSkipUntil_ = snap.scanSkipUntil;
+    banks_ = snap.banks;
+    lastColumnInGroup_ = snap.lastColumnInGroup;
+    queue_ = snap.queue;
+    dataCycles_ = snap.dataCycles;
+    rowHits_ = snap.rowHits;
+    rowMisses_ = snap.rowMisses;
+    serviced_ = snap.serviced;
+}
+
 } // namespace ebm

@@ -108,6 +108,39 @@ class DramChannel
 
     void reset();
 
+    /**
+     * Full controller state: the clock, bus/bank timing machines, the
+     * age-ordered FR-FCFS queue, the fruitless-scan skip mark, and
+     * all counters (totals + window checkpoints). Timing parameters
+     * and capacities are immutable per instance.
+     */
+    struct Snapshot
+    {
+        Cycle now = 0;
+        Cycle busFreeAt = 0;
+        Cycle lastActivateAt = 0;
+        Cycle scanSkipUntil = 0;
+        std::vector<DramBank> banks;
+        std::vector<Cycle> lastColumnInGroup;
+        std::vector<DramCommand> queue;
+        std::vector<Counter> dataCycles;
+        Counter rowHits;
+        Counter rowMisses;
+        Counter serviced;
+
+        std::size_t
+        heapBytes() const
+        {
+            return banks.capacity() * sizeof(DramBank) +
+                   lastColumnInGroup.capacity() * sizeof(Cycle) +
+                   queue.capacity() * sizeof(DramCommand) +
+                   dataCycles.capacity() * sizeof(Counter);
+        }
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     const DramTiming timing_;
     const std::uint32_t banksPerGroup_;

@@ -137,4 +137,32 @@ MemoryPartition::reset()
         pending_.pop();
 }
 
+MemoryPartition::Snapshot
+MemoryPartition::snapshot() const
+{
+    Snapshot snap;
+    snap.l2 = l2_.snapshot();
+    snap.dram = dram_.snapshot();
+    snap.inputQueue = inputQueue_;
+    snap.dramPhase = dramPhase_;
+    snap.pending = pending_;
+    return snap;
+}
+
+void
+MemoryPartition::restore(const Snapshot &snap)
+{
+    if (snap.inputQueue.capacity() != inputQueue_.capacity())
+        fatal("MemoryPartition: snapshot shape mismatch");
+    l2_.restore(snap.l2);
+    dram_.restore(snap.dram);
+    inputQueue_ = snap.inputQueue;
+    dramPhase_ = snap.dramPhase;
+    pending_ = snap.pending;
+    // The fill scratch is cleared before every use; leave it empty so
+    // a restored instance matches a cold one byte-for-byte in
+    // behaviour without carrying transient capacity around.
+    fillScratch_.waiters.clear();
+}
+
 } // namespace ebm

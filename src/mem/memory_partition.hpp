@@ -82,7 +82,6 @@ class MemoryPartition
 
     void reset();
 
-  private:
     /** A response scheduled for a future core cycle. */
     struct PendingResponse
     {
@@ -93,6 +92,38 @@ class MemoryPartition
             return readyAt > o.readyAt;
         }
     };
+
+    /**
+     * L2 slice, DRAM controller, the crossbar-facing input queue, the
+     * scheduled-response heap, and the fractional DRAM-clock phase —
+     * the phase is observable (it decides which core cycles carry a
+     * DRAM command cycle), so it restores bit-exactly. The fill
+     * scratch is transient (cleared before every use) and is reset,
+     * not copied.
+     */
+    struct Snapshot
+    {
+        Cache::Snapshot l2;
+        DramChannel::Snapshot dram;
+        BoundedQueue<MemRequest> inputQueue{1};
+        double dramPhase = 0.0;
+        std::priority_queue<PendingResponse,
+                            std::vector<PendingResponse>,
+                            std::greater<PendingResponse>> pending;
+
+        std::size_t
+        heapBytes() const
+        {
+            return l2.heapBytes() + dram.heapBytes() +
+                   inputQueue.size() * sizeof(MemRequest) +
+                   pending.size() * sizeof(PendingResponse);
+        }
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
+  private:
 
     void scheduleResponse(const MemRequest &req, Cycle ready_at);
 

@@ -149,6 +149,18 @@ MshrFile::completeFill(Addr line_addr)
 }
 
 void
+MshrFile::restore(const Snapshot &snap)
+{
+    if (snap.slots.size() != slots_.size() ||
+        snap.pool.size() != pool_.size())
+        fatal("MshrFile: snapshot capacity mismatch");
+    used_ = snap.used;
+    freeHead_ = snap.freeHead;
+    slots_ = snap.slots;
+    pool_ = snap.pool;
+}
+
+void
 MshrFile::clear()
 {
     for (Slot &slot : slots_)

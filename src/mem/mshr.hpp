@@ -64,7 +64,8 @@ class MshrFile
 
     void clear();
 
-  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
     /** One open-addressed table slot: a line and its waiter chain. */
     struct Slot
     {
@@ -82,7 +83,35 @@ class MshrFile
         std::uint32_t next = kNil;
     };
 
-    static constexpr std::uint32_t kNil = 0xffffffffu;
+    /**
+     * Full mutable state: the open-addressed table, the waiter-node
+     * pool, and the free list head. Capacities are construction
+     * parameters and are validated on restore instead of copied.
+     */
+    struct Snapshot
+    {
+        std::uint32_t used = 0;
+        std::uint32_t freeHead = kNil;
+        std::vector<Slot> slots;
+        std::vector<Node> pool;
+
+        std::size_t
+        heapBytes() const
+        {
+            return slots.capacity() * sizeof(Slot) +
+                   pool.capacity() * sizeof(Node);
+        }
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{used_, freeHead_, slots_, pool_};
+    }
+
+    void restore(const Snapshot &snap);
+
+  private:
 
     std::size_t probeIndex(Addr line_addr) const;
     /** Slot of @p line_addr, or kNil if absent. */

@@ -141,6 +141,16 @@ TagArray::flush()
 }
 
 void
+TagArray::restore(const Snapshot &snap)
+{
+    if (snap.ways.size() != ways_.size())
+        fatal("TagArray: snapshot geometry mismatch");
+    useClock_ = snap.useClock;
+    ways_ = snap.ways;
+    partitions_ = snap.partitions;
+}
+
+void
 TagArray::setWayPartition(AppId app, std::uint32_t first,
                           std::uint32_t count)
 {

@@ -76,7 +76,6 @@ class TagArray
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t assoc() const { return assoc_; }
 
-  private:
     struct Way
     {
         bool valid = false;
@@ -85,14 +84,43 @@ class TagArray
         std::uint64_t lastUse = 0;
     };
 
-    std::uint32_t setIndex(Addr line_addr) const;
-
     /** Allocation way range of one app (whole array by default). */
     struct WayRange
     {
         std::uint32_t first = 0;
         std::uint32_t count = 0; ///< 0 = unrestricted.
     };
+
+    /**
+     * Full mutable state: tag contents, LRU clock, and the way
+     * partitions (a knob, so a restored machine reproduces the
+     * partitioned victim selection exactly). Geometry is immutable
+     * per instance and is validated on restore instead of copied.
+     */
+    struct Snapshot
+    {
+        std::uint64_t useClock = 0;
+        std::vector<Way> ways;
+        std::vector<WayRange> partitions;
+
+        std::size_t
+        heapBytes() const
+        {
+            return ways.capacity() * sizeof(Way) +
+                   partitions.capacity() * sizeof(WayRange);
+        }
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{useClock_, ways_, partitions_};
+    }
+
+    void restore(const Snapshot &snap);
+
+  private:
+    std::uint32_t setIndex(Addr line_addr) const;
 
     std::uint32_t numSets_;
     std::uint32_t assoc_;

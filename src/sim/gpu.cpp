@@ -324,6 +324,57 @@ Gpu::checkpoint()
         part->checkpoint();
 }
 
+std::size_t
+Gpu::Snapshot::heapBytes() const
+{
+    std::size_t n = cores.capacity() * sizeof(SimtCore::Snapshot) +
+                    partitions.capacity() *
+                        sizeof(MemoryPartition::Snapshot) +
+                    holdover.capacity() * sizeof(HeldResponse) +
+                    xbar.heapBytes();
+    for (const SimtCore::Snapshot &c : cores)
+        n += c.heapBytes();
+    for (const MemoryPartition::Snapshot &p : partitions)
+        n += p.heapBytes();
+    return n;
+}
+
+Gpu::Snapshot
+Gpu::snapshot() const
+{
+    Snapshot snap;
+    snap.now = now_;
+    snap.fastForward = fastForward_;
+    snap.fastForwardedCycles = fastForwardedCycles_;
+    snap.cores.reserve(cores_.size());
+    for (const auto &core : cores_)
+        snap.cores.push_back(core->snapshot());
+    snap.xbar = xbar_.snapshot();
+    snap.partitions.reserve(partitions_.size());
+    for (const auto &part : partitions_)
+        snap.partitions.push_back(part->snapshot());
+    snap.holdover = holdover_;
+    return snap;
+}
+
+void
+Gpu::restore(const Snapshot &snap)
+{
+    if (snap.cores.size() != cores_.size() ||
+        snap.partitions.size() != partitions_.size())
+        fatal("Gpu: snapshot shape mismatch");
+    now_ = snap.now;
+    fastForward_ = snap.fastForward;
+    fastForwardedCycles_ = snap.fastForwardedCycles;
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->restore(snap.cores[i]);
+    xbar_.restore(snap.xbar);
+    for (std::size_t i = 0; i < partitions_.size(); ++i)
+        partitions_[i]->restore(snap.partitions[i]);
+    holdover_ = snap.holdover;
+    // Scratch vectors are cleared before every use; leave them alone.
+}
+
 void
 Gpu::reset(bool flush_caches)
 {

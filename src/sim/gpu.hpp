@@ -162,6 +162,43 @@ class Gpu
      */
     void restoreKnobDefaults();
 
+    /** A held-over response plus its response-network input port,
+     * captured at origin so retries never recompute the address
+     * mapping (the port is a pure function of the line address). */
+    struct HeldResponse
+    {
+        MemResponse resp;
+        PartitionId port;
+    };
+
+    /**
+     * The complete mutable machine state: cycle counter, fast-forward
+     * accounting, every core, both crossbar networks, every memory
+     * partition, and the response holdover. Value-semantic and
+     * heap-compact — a pooled worker can hold several. Capturing and
+     * restoring is only valid between instances built from the same
+     * (config, apps, core_share); restore() shape-checks and fatals on
+     * mismatch. After restore(const Snapshot&), the machine replays
+     * bit-identically to the machine the snapshot was taken from —
+     * unlike reset(), which rewinds to cycle 0 and (always, for the
+     * L2) flushes in-flight and cached state.
+     */
+    struct Snapshot
+    {
+        Cycle now = 0;
+        bool fastForward = true;
+        std::uint64_t fastForwardedCycles = 0;
+        std::vector<SimtCore::Snapshot> cores;
+        Crossbar::Snapshot xbar;
+        std::vector<MemoryPartition::Snapshot> partitions;
+        std::vector<HeldResponse> holdover;
+
+        std::size_t heapBytes() const;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     /**
      * Earliest cycle after now_ at which any component can change
@@ -187,14 +224,6 @@ class Gpu
     Crossbar xbar_;
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     std::vector<MemResponse> respScratch_;
-    /** A held-over response plus its response-network input port,
-     * captured at origin so retries never recompute the address
-     * mapping (the port is a pure function of the line address). */
-    struct HeldResponse
-    {
-        MemResponse resp;
-        PartitionId port;
-    };
     /** Responses blocked by response-network back-pressure. */
     std::vector<HeldResponse> holdover_;
     /** Swap partner of holdover_ (no per-cycle vector allocation). */

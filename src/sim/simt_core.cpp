@@ -319,4 +319,56 @@ SimtCore::reset(bool flush_l1)
         refreshWarp(w);
 }
 
+SimtCore::Snapshot
+SimtCore::snapshot() const
+{
+    Snapshot snap;
+    snap.bypassL1 = bypassL1_;
+    snap.bypassL2 = bypassL2_;
+    snap.warps = warps_;
+    snap.schedulers.reserve(schedulers_.size());
+    for (const WarpScheduler &sched : schedulers_)
+        snap.schedulers.push_back(sched.snapshot());
+    snap.curInstr = curInstr_;
+    snap.curInstrIdx = curInstrIdx_;
+    snap.l1 = l1_.snapshot();
+    snap.victimTags = victimTags_.snapshot();
+    snap.localPending = localPending_;
+    snap.instrsRetired = instrsRetired_;
+    snap.idleCycles = idleCycles_;
+    snap.memWaitCycles = memWaitCycles_;
+    snap.stallCycles = stallCycles_;
+    snap.lostLocality = lostLocality_;
+    return snap;
+}
+
+void
+SimtCore::restore(const Snapshot &snap)
+{
+    if (snap.warps.size() != warps_.size() ||
+        snap.schedulers.size() != schedulers_.size() ||
+        snap.curInstr.size() != curInstr_.size() ||
+        snap.curInstrIdx.size() != curInstrIdx_.size())
+        fatal("SimtCore: snapshot shape mismatch");
+    bypassL1_ = snap.bypassL1;
+    bypassL2_ = snap.bypassL2;
+    warps_ = snap.warps;
+    for (std::size_t s = 0; s < schedulers_.size(); ++s)
+        schedulers_[s].restore(snap.schedulers[s]);
+    // The decode cache and ready masks are copied, not re-derived:
+    // they were consistent with the warp cursors when captured.
+    curInstr_ = snap.curInstr;
+    curInstrIdx_ = snap.curInstrIdx;
+    l1_.restore(snap.l1);
+    victimTags_.restore(snap.victimTags);
+    localPending_ = snap.localPending;
+    // Transient scratch: cleared before every use, never carried.
+    fillScratch_.waiters.clear();
+    instrsRetired_ = snap.instrsRetired;
+    idleCycles_ = snap.idleCycles;
+    memWaitCycles_ = snap.memWaitCycles;
+    stallCycles_ = snap.stallCycles;
+    lostLocality_ = snap.lostLocality;
+}
+
 } // namespace ebm

@@ -139,6 +139,59 @@ class SimtCore
     /** Clear warps, L1, and counters (new run / kernel relaunch). */
     void reset(bool flush_l1);
 
+    struct LocalCompletion
+    {
+        Cycle readyAt;
+        WarpId warp;
+        bool operator>(const LocalCompletion &o) const
+        {
+            return readyAt > o.readyAt;
+        }
+    };
+
+    /**
+     * Everything a core mutates: warp contexts (including per-warp
+     * stall generations), scheduler masks and SWL limits, the per-warp
+     * decoded-instruction cache, the L1 (tags + MSHRs + stats +
+     * generation), the CCWS victim tags, L1-hit completions in flight,
+     * the bypass knobs, and all counters with their window marks. The
+     * config/address-map/tracer references are wiring, not state.
+     */
+    struct Snapshot
+    {
+        bool bypassL1 = false;
+        bool bypassL2 = false;
+        std::vector<WarpState> warps;
+        std::vector<WarpScheduler::Snapshot> schedulers;
+        std::vector<InstrDesc> curInstr;
+        std::vector<std::uint64_t> curInstrIdx;
+        Cache::Snapshot l1;
+        TagArray::Snapshot victimTags;
+        std::priority_queue<LocalCompletion,
+                            std::vector<LocalCompletion>,
+                            std::greater<LocalCompletion>> localPending;
+        Counter instrsRetired;
+        Counter idleCycles;
+        Counter memWaitCycles;
+        Counter stallCycles;
+        Counter lostLocality;
+
+        std::size_t
+        heapBytes() const
+        {
+            return warps.capacity() * sizeof(WarpState) +
+                   schedulers.capacity() *
+                       sizeof(WarpScheduler::Snapshot) +
+                   curInstr.capacity() * sizeof(InstrDesc) +
+                   curInstrIdx.capacity() * sizeof(std::uint64_t) +
+                   l1.heapBytes() + victimTags.heapBytes() +
+                   localPending.size() * sizeof(LocalCompletion);
+        }
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     /** Try to issue one instruction from @p warp. @return success. */
     bool issueFrom(WarpId warp, Cycle now, Crossbar &xbar);
@@ -155,16 +208,6 @@ class SimtCore
 
     /** curInstrIdx_ value marking a decode-cache entry as stale. */
     static constexpr std::uint64_t kStaleInstr = ~std::uint64_t{0};
-
-    struct LocalCompletion
-    {
-        Cycle readyAt;
-        WarpId warp;
-        bool operator>(const LocalCompletion &o) const
-        {
-            return readyAt > o.readyAt;
-        }
-    };
 
     const GpuConfig &cfg_;
     const AddressMap &amap_;

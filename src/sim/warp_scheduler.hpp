@@ -115,6 +115,35 @@ class WarpScheduler
 
     static constexpr WarpId kNoWarp = 0xffffffffu;
 
+    /**
+     * Mutable arbiter state: the SWL limit (a knob, so a restored
+     * machine replays the same windowed picks), the incremental ready
+     * mask, and the GTO greedy pointer. The warp-id age order is
+     * immutable per instance.
+     */
+    struct Snapshot
+    {
+        std::uint32_t tlpLimit = 0;
+        std::uint64_t readyMask = 0;
+        WarpId lastIssued = kNoWarp;
+        std::uint32_t lastPos = 0;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{tlpLimit_, readyMask_, lastIssued_, lastPos_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        tlpLimit_ = snap.tlpLimit;
+        readyMask_ = snap.readyMask;
+        lastIssued_ = snap.lastIssued;
+        lastPos_ = snap.lastPos;
+    }
+
   private:
     static constexpr std::uint32_t kNoPos = 0xffffffffu;
 

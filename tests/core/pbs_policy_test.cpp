@@ -58,9 +58,21 @@ TEST(PbsPolicy, AppliesSearchCombosToTheGpu)
 {
     GpuConfig cfg = test::tinyConfig(2);
     Gpu gpu(cfg, {test::streamingApp(), test::cacheApp()});
+    const std::uint32_t tlp0 = gpu.appTlp(0);
+    const std::uint32_t tlp1 = gpu.appTlp(1);
     PbsPolicy policy = wsPolicy();
+    // Start is gpu-neutral (the warm-fork contract): the machine is
+    // untouched until the first window closes.
     policy.onRunStart(gpu);
-    // Probing starts immediately: some combo is applied.
+    EXPECT_TRUE(policy.startIsGpuNeutral());
+    EXPECT_FALSE(policy.converged());
+    EXPECT_EQ(gpu.appTlp(0), tlp0);
+    EXPECT_EQ(gpu.appTlp(1), tlp1);
+    // The first close kicks off probing: some combo is applied.
+    EbMonitor mon(gpu, EbMonitor::Mode::DesignatedUnits);
+    gpu.checkpoint();
+    gpu.run(400);
+    policy.onWindow(gpu, gpu.now(), mon.closeWindow(gpu.now()));
     EXPECT_FALSE(policy.currentCombo().empty());
     EXPECT_EQ(gpu.appTlp(0), policy.currentCombo()[0]);
     EXPECT_EQ(gpu.appTlp(1), policy.currentCombo()[1]);

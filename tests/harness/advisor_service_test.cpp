@@ -28,6 +28,7 @@
 #include "harness/advisor_service.hpp"
 #include "harness/disk_cache.hpp"
 #include "harness/runner.hpp"
+#include "harness/warm_state.hpp"
 #include "workload/app_catalog.hpp"
 
 namespace ebm {
@@ -108,6 +109,28 @@ TEST_F(AdvisorServiceTest, ColdMissFillsAsyncThenServesFromMemo)
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.hits, 2u);
     EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST_F(AdvisorServiceTest, FillsReportWarmCheckpointTraffic)
+{
+    // A cold fill sweeps many combinations of few machine shapes, so
+    // with the warm-state cache on it must record both misses (first
+    // run of a shape computes the prefix) and hits (every later combo
+    // of that shape forks from the capture).
+    WarmStateCache::instance().clear();
+    WarmStateCache::setEnabled(true);
+    DiskCache cache(cache_path_);
+    AdvisorService svc(*runner_, cache, fastOpts());
+    const auto r = svc.advise("BLK", "TRD", 0);
+    ASSERT_EQ(r.state, AdvisorService::State::Pending);
+    svc.drainFills();
+
+    const auto s = svc.stats();
+    EXPECT_EQ(s.fillsCompleted, 1u);
+    EXPECT_GE(s.snapshotMisses, 1u);
+    EXPECT_GE(s.snapshotHits, 1u)
+        << "combos sharing a shape must fork, not re-warm";
+    WarmStateCache::instance().clear();
 }
 
 TEST_F(AdvisorServiceTest, BlockingWaitResolvesWithinDeadline)
@@ -283,6 +306,10 @@ TEST_F(AdvisorRequestTest, ValidatesVerbsAndOptions)
 
     const std::string stats = srv.handleRequest("STATS");
     EXPECT_EQ(stats.rfind("OK STATS requests=", 0), 0u) << stats;
+    EXPECT_NE(stats.find(" snapshot_hits="), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find(" snapshot_misses="), std::string::npos)
+        << stats;
     // Nothing above may have started a simulation.
     EXPECT_EQ(svc_->stats().fillsDispatched, 0u);
 }

@@ -212,6 +212,72 @@ TEST_F(GpuPoolTest, IdleInstancesAreCappedOldestEvictedFirst)
     EXPECT_EQ(pool.stats().hits, 1u);
 }
 
+TEST_F(GpuPoolTest, RetainedSnapshotRidesAcrossReleaseAndAcquire)
+{
+    const GpuConfig cfg = test::tinyConfig(2);
+    const std::vector<AppProfile> apps = {test::streamingApp(),
+                                          test::cacheApp()};
+    const auto payload = std::make_shared<int>(42);
+
+    GpuPool pool;
+    {
+        GpuPool::Lease lease = pool.acquire(cfg, apps, {});
+        EXPECT_EQ(lease.retainedSnapshot(0x11u), nullptr);
+        lease.retainSnapshot(0x11u, payload, 1024);
+        EXPECT_EQ(lease.retainedSnapshot(0x11u), payload);
+    }
+    EXPECT_EQ(pool.retainedBytes(), 1024u);
+    {
+        GpuPool::Lease lease = pool.acquire(cfg, apps, {});
+        EXPECT_EQ(lease.retainedSnapshot(0x11u), payload)
+            << "the snapshot follows the machine back out of the pool";
+        // Re-retaining the same key replaces, not accumulates.
+        lease.retainSnapshot(0x11u, payload, 2048);
+    }
+    EXPECT_EQ(pool.retainedBytes(), 2048u);
+}
+
+/**
+ * Satellite (f): eviction must account retained snapshot bytes, not
+ * just idle age — one entry pinning a huge checkpoint is evicted even
+ * though the idle count is far below the cap.
+ */
+TEST_F(GpuPoolTest, RetainedBytesOverBudgetEvictEvenWhenIdleCountIsLow)
+{
+    const GpuConfig cfg = test::tinyConfig(2);
+    const std::vector<AppProfile> heavy_apps = {
+        test::cacheApp("HEAVY", 2), test::streamingApp()};
+    const std::vector<AppProfile> light_apps = {
+        test::cacheApp("LIGHT", 3), test::streamingApp()};
+
+    GpuPool pool;
+    pool.setRetainedBudget(4096);
+    {
+        GpuPool::Lease lease = pool.acquire(cfg, heavy_apps, {});
+        lease.retainSnapshot(0x1u, std::make_shared<int>(1), 8192);
+    }
+    // Over budget with a single idle entry: evicted immediately.
+    EXPECT_EQ(pool.idleCount(), 0u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    EXPECT_EQ(pool.retainedBytes(), 0u);
+
+    // Under budget, entries stay; a later over-budget release evicts
+    // oldest-first until back under.
+    {
+        GpuPool::Lease lease = pool.acquire(cfg, light_apps, {});
+        lease.retainSnapshot(0x2u, std::make_shared<int>(2), 1024);
+    }
+    EXPECT_EQ(pool.idleCount(), 1u);
+    {
+        GpuPool::Lease lease = pool.acquire(cfg, heavy_apps, {});
+        lease.retainSnapshot(0x3u, std::make_shared<int>(3), 3584);
+    }
+    EXPECT_EQ(pool.idleCount(), 1u)
+        << "the older light entry is displaced to fit the budget";
+    EXPECT_EQ(pool.stats().evictions, 2u);
+    EXPECT_EQ(pool.retainedBytes(), 3584u);
+}
+
 TEST_F(GpuPoolTest, DisabledPoolConstructsAndDiscardsEveryLease)
 {
     const GpuConfig cfg = test::tinyConfig(2);

@@ -93,10 +93,13 @@ TEST_F(EndToEndTest, PbsWsBeatsBestTlpOnContendedPair)
     GpuConfig cfg;
     cfg.numApps = 2;
     // Online-policy horizon: long enough that the one-off search
-    // amortizes, as it does over real kernel executions.
+    // amortizes, as it does over real kernel executions. (The search
+    // begins at the first window boundary rather than at cycle zero —
+    // policies are gpu-neutral until their first sample — so the
+    // horizon must absorb one extra window of probing.)
     RunOptions opts;
     opts.warmupCycles = 5000;
-    opts.measureCycles = 120'000;
+    opts.measureCycles = 200'000;
     opts.windowCycles = 1000;
     Runner runner(cfg, opts);
     const std::vector<AppProfile> apps = {findApp("BLK"),
