@@ -10,7 +10,8 @@
  * claims) while the client polls a ticket or blocks under a deadline.
  *
  * Usage: ebm_advised [--socket PATH] [--cache FILE] [--fast]
- *                    [--jobs N] [--no-remote-shutdown]
+ *                    [--jobs N] [--coordinator HOST:PORT]
+ *                    [--no-remote-shutdown]
  *
  *   --socket PATH  listen here (default ./ebm_advised.sock)
  *   --cache FILE   result store (default: DiskCache::defaultPath(),
@@ -19,6 +20,10 @@
  *                  finish in seconds (CI smoke / demos; keys are
  *                  fingerprint-separated from the standard machine)
  *   --jobs N       worker threads per miss fill
+ *   --coordinator HOST:PORT  lease cold-fill rows from an
+ *                  ebm_coordinator (sets EBM_COORDINATOR), so this
+ *                  daemon's miss fills fan out across the same worker
+ *                  fleet instead of simulating every row locally
  *   --no-remote-shutdown  ignore the SHUTDOWN verb (Ctrl-C only)
  *
  * Query it with ebm_advise_client, e.g.:
@@ -97,6 +102,10 @@ main(int argc, char **argv)
                 cache_path = argv[++i];
             } else if (arg == "--fast") {
                 fast = true;
+            } else if (arg == "--coordinator" && i + 1 < argc) {
+                // The sweep dispatch gate reads EBM_COORDINATOR; the
+                // flag is a convenience spelling of the same contract.
+                ::setenv("EBM_COORDINATOR", argv[++i], 1);
             } else if (arg == "--no-remote-shutdown") {
                 remote_shutdown = false;
             } else if ((arg == "--jobs" || arg == "-j") &&

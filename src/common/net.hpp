@@ -1,10 +1,12 @@
 /**
  * @file
- * Minimal Unix-domain socket plumbing for the serving front door
- * (harness/advisor_service.hpp): an RAII fd, a listener, a connector,
- * and full-buffer read/write loops that survive EINTR and partial
- * transfers. Deliberately tiny — no event loop, no TLS, no TCP — so
- * the protocol layer above it can be tested byte-by-byte.
+ * Minimal socket plumbing for the serving front door
+ * (harness/advisor_service.hpp) and the distributed sweep fabric
+ * (harness/coordinator.hpp): an RAII fd, Unix-domain and TCP
+ * listeners/connectors, and full-buffer read/write loops that survive
+ * EINTR and partial transfers. Deliberately tiny — no event loop, no
+ * TLS, no name resolution beyond numeric/loopback — so the protocol
+ * layers above it can be tested byte-by-byte.
  *
  * All functions report failures through the structured error model
  * (Error / Result-like return values), never exit; callers decide
@@ -12,12 +14,16 @@
  */
 #pragma once
 
+#include <arpa/inet.h>
 #include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -139,6 +145,131 @@ netConnectUnix(const std::string &path)
                      "connect(" + path + ") failed: " +
                          std::string(std::strerror(errno))};
     }
+    return fd;
+}
+
+/**
+ * Split "host:port" into its parts. @return false when there is no
+ * colon, the port is empty/non-numeric, or it exceeds 65535. The host
+ * part is returned verbatim (empty host = wildcard, caller's policy).
+ */
+inline bool
+parseHostPort(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        return false;
+    unsigned long value = 0;
+    for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+        const char c = spec[i];
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<unsigned long>(c - '0');
+        if (value > 65535)
+            return false;
+    }
+    host = spec.substr(0, colon);
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+/** Fill @p addr from a numeric IPv4 @p host (empty = INADDR_ANY) and
+ * @p port. No DNS — the fabric speaks to addresses, not names. */
+inline bool
+tcpSockAddr(const std::string &host, std::uint16_t port,
+            sockaddr_in &addr)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host.empty()) {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+        return true;
+    }
+    return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+/**
+ * Bind and listen on TCP @p host:@p port (port 0 = kernel-assigned
+ * ephemeral; read it back with netLocalPort). SO_REUSEADDR is set so
+ * a restarted daemon does not trip over its predecessor's TIME_WAIT.
+ */
+inline Result<UniqueFd>
+netListenTcp(const std::string &host, std::uint16_t port,
+             int backlog = 64)
+{
+    sockaddr_in addr;
+    if (!tcpSockAddr(host, port, addr)) {
+        return Error{Errc::InvalidArgument,
+                     "not a numeric IPv4 address: " + host};
+    }
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        return Error{Errc::CacheIo, "socket() failed: " +
+                                        std::string(std::strerror(errno))};
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof one);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        return Error{Errc::CacheIo,
+                     "bind(" + host + ":" + std::to_string(port) +
+                         ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        return Error{Errc::CacheIo,
+                     "listen(" + host + ":" + std::to_string(port) +
+                         ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    return fd;
+}
+
+/** The local port a bound socket ended up on (resolves port 0). */
+inline std::uint16_t
+netLocalPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+/** Connect to TCP @p host:@p port. TCP_NODELAY is set — the protocols
+ * above this exchange small request/response frames, and Nagle would
+ * serialize them against delayed ACKs. */
+inline Result<UniqueFd>
+netConnectTcp(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in addr;
+    if (!tcpSockAddr(host.empty() ? "127.0.0.1" : host, port, addr)) {
+        return Error{Errc::InvalidArgument,
+                     "not a numeric IPv4 address: " + host};
+    }
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        return Error{Errc::CacheIo, "socket() failed: " +
+                                        std::string(std::strerror(errno))};
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        return Error{Errc::CacheIo,
+                     "connect(" + host + ":" + std::to_string(port) +
+                         ") failed: " +
+                         std::string(std::strerror(errno))};
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
     return fd;
 }
 

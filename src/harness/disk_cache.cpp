@@ -18,6 +18,7 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "harness/shard_claim.hpp"
 #include "harness/store_format.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -691,6 +692,14 @@ DiskCache::writeCompacted(const EntryMap &snapshot)
 bool
 DiskCache::compact()
 {
+    // Compaction renders the store canonical again; the claim dir's
+    // leftover fencing counters from finished rows go with it (a
+    // sidecar under a live claim is kept — see sweepOrphanedEpochs).
+    const std::size_t swept = sweepOrphanedEpochs(path_);
+    if (swept > 0) {
+        warn("DiskCache: swept " + std::to_string(swept) +
+             " orphaned epoch sidecar(s) for " + path_);
+    }
     return persistCompacted();
 }
 

@@ -12,6 +12,7 @@
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/cost_model.hpp"
+#include "harness/lease_provider.hpp"
 #include "harness/shard_claim.hpp"
 #include "metrics/metrics.hpp"
 #include "workload/app_catalog.hpp"
@@ -186,12 +187,14 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         return decodeComboRow(v, combo, n);
     };
 
-    // Cross-process sharding (EBM_SWEEP_SHARD): rows are claimed at
-    // dispatch through atomic claim files, so N cooperating processes
-    // split a cold sweep instead of each simulating all of it.
-    std::optional<ShardClaims> claims;
-    if (ShardClaims::shardingEnabled())
-        claims.emplace(cache_.path());
+    // Cross-process sharding: rows are claimed at dispatch through a
+    // LeaseProvider, so N cooperating workers split a cold sweep
+    // instead of each simulating all of it. EBM_SWEEP_SHARD selects
+    // filesystem claim files against the shared store;
+    // EBM_COORDINATOR=host:port leases rows from an ebm_coordinator
+    // over TCP and streams results back as CRC-framed records.
+    const std::unique_ptr<LeaseProvider> lease =
+        makeLeaseProvider(cache_);
 
     // Serial pass in row order: cache probes and the injected
     // run-failure pre-draw both consume ordered global state (the
@@ -261,18 +264,18 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     auto simulateTask = [&](SweepTask &task) {
         const TlpCombo &combo = table.combos[task.row];
 
-        // Crash point: the claim is held, nothing is durable yet.
-        // Peers must see the claim go stale and take the row over.
-        if (claims && task.crashClaimHeld)
+        // Crash point: the lease is held, nothing is durable yet.
+        // Peers must see the lease go stale and take the row over.
+        if (lease && task.crashClaimHeld)
             crashNow();
 
         // Span the whole attempt loop with a background heartbeat so
         // a single row longer than the staleness window never looks
         // abandoned to peers (the per-attempt bump below is far too
         // coarse for that once rows take seconds).
-        std::optional<ClaimHeartbeater> beat;
-        if (claims)
-            beat.emplace(&*claims, task.key);
+        std::optional<LeaseHeartbeater> beat;
+        if (lease)
+            beat.emplace(lease.get(), task.key);
 
         // Workers never touch the shared injector: the run-failure
         // schedule was pre-drawn above, and monitor-level points are
@@ -298,8 +301,8 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 ++task.retried;
             // Liveness signal for cooperating processes: while this
             // row is retrying it is being worked on, not abandoned.
-            if (claims)
-                claims->heartbeat(task.key);
+            if (lease)
+                lease->heartbeat(task.key);
             if (attempt < task.injectedFails) {
                 warn("Exhaustive: run failed for " + task.key +
                      " (attempt " + std::to_string(attempt + 1) + "/" +
@@ -336,21 +339,23 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             v.push_back(static_cast<double>(result.measuredCycles));
             cache_.put(task.key, v);
             task.simulated = 1;
-            if (claims) {
-                // Group commit may return before the covering batch
-                // lands; peers read "claim gone" as "result durable",
-                // so force the flush before dropping the claim.
-                cache_.sync();
-                // Crash point: result durable, claim left behind.
-                // Peers break the stale claim and re-probe the store.
+            if (lease) {
+                // Publish before dropping the lease: peers read
+                // "lease gone" as "result durable". Filesystem mode
+                // forces the covering group commit of the shared
+                // store; network mode streams the CRC-framed record
+                // to the coordinator, whose own writer commits it.
+                lease->publish(task.key, v);
+                // Crash point: result durable, lease left behind.
+                // Peers break the stale lease and re-probe the store.
                 if (task.crashPostPut)
                     crashNow();
                 // Stop the background heartbeat before dropping the
-                // claim so a late tick can't mistake our own release
+                // lease so a late tick can't mistake our own release
                 // for a takeover.
                 const bool was_fenced = beat && beat->fenced();
                 beat.reset();
-                if (was_fenced || !claims->release(task.key)) {
+                if (was_fenced || !lease->release(task.key)) {
                     // A peer fenced us out mid-row and owns it now:
                     // our durable result is a byte-identical
                     // duplicate compute, not the one waiters consume.
@@ -366,23 +371,24 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
             task.skipped = 1;
             // Durable skip marker: waiting processes replicate the
             // skip instead of polling a row that will never appear.
-            if (claims) {
+            if (lease) {
                 beat.reset();
-                claims->markSkipped(task.key);
+                lease->markSkipped(task.key);
             }
         }
         table.results[task.row] = std::move(result);
     };
 
     // Fold in rows cooperating processes finished since our probe
-    // pass: a completed row's claim is already gone (released after
-    // the durable put), so claims alone cannot tell "done" from
-    // "never started" — the store can. @return true when the row was
-    // assembled from a peer's result.
+    // pass: a completed row's lease is already gone (released after
+    // the durable publish), so leases alone cannot tell "done" from
+    // "never started" — the authoritative store can (the shared file
+    // under filesystem claims, the coordinator's store over the
+    // wire). @return true when the row was assembled from a peer's
+    // result.
     auto probePeer = [&](SweepTask &task) {
-        cache_.refresh();
         const auto v =
-            cache_.getValidated(task.key, 4u * std::size_t{n} + 1);
+            lease->fetch(task.key, 4u * std::size_t{n} + 1);
         if (!v)
             return false;
         table.results[task.row] = decode(*v, table.combos[task.row]);
@@ -391,18 +397,18 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     };
 
     // Dispatch gate: under sharding a worker re-probes the store
-    // (peers may have finished the row already), claims the row right
+    // (peers may have finished the row already), leases the row right
     // before simulating it, and re-probes once more after winning the
-    // claim (the owner may have released — result durable — between
+    // lease (the owner may have released — result durable — between
     // probe and acquisition). Cooperating processes thus split the
     // missing rows by arrival instead of duplicating them; a row
     // someone else still holds is deferred to the wait phase below.
-    // Echo the claim's fencing epoch into the store header: epochs
+    // Echo the lease's fencing epoch into the store header: epochs
     // past the first mean the row changed hands (a takeover), and a
     // store written under takeovers should say so until compaction
     // renders it canonical again.
     auto noteEpoch = [&](const SweepTask &task) {
-        const std::uint64_t epoch = claims->ownedEpoch(task.key);
+        const std::uint64_t epoch = lease->ownedEpoch(task.key);
         if (epoch > 1)
             cache_.noteFencingEpoch(epoch);
     };
@@ -410,18 +416,18 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
     auto runTask = [&](SweepTask &task) {
         // Liveness for the sweep supervisor (sweep_supervisor.hpp):
         // every dispatched row proves this worker is making progress,
-        // claims or not.
+        // leases or not.
         ClaimHeartbeater::touchWorkerHeartbeat();
-        if (claims) {
+        if (lease) {
             if (probePeer(task))
                 return;
-            if (!claims->tryAcquire(task.key)) {
+            if (!lease->tryAcquire(task.key)) {
                 task.deferred = 1;
                 return;
             }
             noteEpoch(task);
             if (probePeer(task)) {
-                claims->release(task.key);
+                lease->release(task.key);
                 return;
             }
         }
@@ -456,27 +462,22 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
         pool.wait();
     }
 
-    // Wait phase (sharding only): rows other processes claimed are
-    // assembled in odometer order from the shared store. The claim
-    // protocol closes every gap: a finished owner's result appears on
-    // refresh(), a killed owner's claim goes stale and is taken over,
-    // and a skipping owner leaves a durable marker we replicate — so
-    // this loop always terminates, and the assembled table is the one
-    // a single process would have built.
+    // Wait phase (sharding only): rows other processes leased are
+    // assembled in odometer order from the authoritative store. The
+    // lease protocol closes every gap: a finished owner's result
+    // appears on the next fetch, a killed owner's lease goes stale
+    // (immediately, in network mode, when its connection drops) and
+    // is taken over, and a skipping owner leaves a durable marker we
+    // replicate — so this loop always terminates, and the assembled
+    // table is the one a single process would have built.
     for (SweepTask &task : tasks) {
         if (!task.deferred)
             continue;
-        const std::size_t expected = 4u * static_cast<std::size_t>(n) + 1;
         for (bool waiting = true; waiting;) {
-            cache_.refresh();
-            if (const auto v = cache_.getValidated(task.key, expected)) {
-                table.results[task.row] =
-                    decode(*v, table.combos[task.row]);
-                task.fromPeers = 1;
+            if (probePeer(task))
                 break;
-            }
-            switch (claims->peek(task.key)) {
-              case ShardClaims::State::Skipped: {
+            switch (lease->peek(task.key)) {
+              case LeaseProvider::State::Skipped: {
                 RunResult result;
                 result.apps.resize(n);
                 result.finalTlp = table.combos[task.row];
@@ -486,31 +487,31 @@ Exhaustive::sweep(const Workload &wl, std::vector<std::uint32_t> levels)
                 waiting = false;
                 break;
               }
-              case ShardClaims::State::Absent:
+              case LeaseProvider::State::Absent:
                 // Owner takeover race (or it crashed between durable
                 // result and release — the re-probe covers the result
-                // landing after this iteration's refresh): claim it
+                // landing after this iteration's fetch): lease it
                 // ourselves; duplicates are byte-identical anyway.
-                if (claims->tryAcquire(task.key)) {
+                if (lease->tryAcquire(task.key)) {
                     noteEpoch(task);
                     if (!probePeer(task))
                         simulateTask(task);
                     else
-                        claims->release(task.key);
+                        lease->release(task.key);
                     waiting = false;
                 }
                 break;
-              case ShardClaims::State::Stale:
-                if (claims->breakStale(task.key)) {
+              case LeaseProvider::State::Stale:
+                if (lease->breakStale(task.key)) {
                     noteEpoch(task);
                     if (!probePeer(task))
                         simulateTask(task);
                     else
-                        claims->release(task.key);
+                        lease->release(task.key);
                     waiting = false;
                 }
                 break;
-              case ShardClaims::State::Active:
+              case LeaseProvider::State::Active:
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(2));
                 break;

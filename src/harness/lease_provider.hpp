@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The lease layer the sweep dispatch gates (Exhaustive::sweep,
+ * ProfileDb::profile) coordinate through when several workers fill
+ * one cold store: who owns a row, how ownership is kept alive, how a
+ * dead owner's row is taken over, and how the row's result travels.
+ *
+ * Two implementations exist behind this interface:
+ *
+ *   - filesystem claims (FsLeaseProvider over harness/shard_claim.*):
+ *     O_EXCL claim files + mtime heartbeats + durable epoch sidecars
+ *     in `<store>.claims/`, for workers sharing one filesystem
+ *     (EBM_SWEEP_SHARD=1);
+ *   - network leases (NetLeaseProvider, harness/lease_net.hpp):
+ *     the same verbs as RPCs against an ebm_coordinator daemon that
+ *     owns the store, for workers that share nothing but a TCP route
+ *     (EBM_COORDINATOR=host:port).
+ *
+ * The split between ownership verbs and the publish()/fetch() result
+ * transport is what makes one dispatch gate serve both: under
+ * filesystem claims a result travels through the shared store file
+ * (publish = group-commit sync, fetch = refresh + validated get);
+ * under network leases it travels as a CRC-framed v3 record over the
+ * coordinator connection, group-committed by the coordinator's own
+ * DiskCache writer. Either way the merge invariant is unchanged:
+ * compact() sorts by key and the simulation is deterministic, so any
+ * mix of workers, takeovers, and duplicate computes compacts to the
+ * same bytes a serial fill would have produced.
+ *
+ * Like the claim protocol it abstracts, a LeaseProvider is an
+ * *optimization, never a correctness dependency*: every verb may fail
+ * (fenced, disconnected, degraded) and the caller falls back to
+ * computing locally — duplicates are byte-identical.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ebm {
+
+class DiskCache;
+
+/** Row-lease coordination plus result transport for one store. */
+class LeaseProvider
+{
+  public:
+    /** A waiter's view of another worker's lease on a key (mirrors
+     * ShardClaims::State — the wait-phase state machine is shared). */
+    enum class State : std::uint8_t {
+        Absent,  ///< No lease (result durable, or owner takeover race).
+        Active,  ///< A live owner is computing the row.
+        Stale,   ///< The owner stopped heartbeating: take over.
+        Skipped, ///< The owner exhausted retries: replicate the skip.
+    };
+
+    virtual ~LeaseProvider() = default;
+
+    /** Atomically lease @p key under a fresh fencing epoch. @return
+     * true = this worker owns the row and must compute it. */
+    virtual bool tryAcquire(const std::string &key) = 0;
+
+    /** Keep the owned lease alive. @return false when fenced — a peer
+     * took the row over and this worker's result is a duplicate. */
+    virtual bool heartbeat(const std::string &key) = 0;
+
+    /** The row's result is durable (publish() succeeded): drop the
+     * lease so waiters fall through to the result. @return false when
+     * fenced (the newer owner's lease was left untouched). */
+    virtual bool release(const std::string &key) = 0;
+
+    /** Retries exhausted: record a durable skip so every waiter
+     * replicates it, then drop the lease. @return false when fenced. */
+    virtual bool markSkipped(const std::string &key) = 0;
+
+    /** Poll another worker's lease on @p key. */
+    virtual State peek(const std::string &key) = 0;
+
+    /** Take over a stale lease under a bumped fencing epoch. @return
+     * true = this worker owns the row now. */
+    virtual bool breakStale(const std::string &key) = 0;
+
+    /** The fencing epoch this instance holds @p key under; 0 when it
+     * does not own the key. Epochs past 1 mean the row changed hands
+     * and are echoed into the store header (noteFencingEpoch). */
+    virtual std::uint64_t ownedEpoch(const std::string &key) const = 0;
+
+    /**
+     * Make the owned row's result durable where waiting peers will
+     * find it: the shared store file (filesystem mode — the caller
+     * already put() it; this forces the covering group commit) or the
+     * coordinator's store (network mode — the record is streamed as a
+     * CRC-framed v3 frame and acknowledged once committed). Call
+     * before release(). @return false when the result could not be
+     * made durable for peers (it is still good locally).
+     */
+    virtual bool publish(const std::string &key,
+                         const std::vector<double> &values) = 0;
+
+    /**
+     * Probe for a peer's durable result for @p key: the shared store
+     * (after folding in peer appends) or the coordinator. Validated
+     * like DiskCache::getValidated — exactly @p expected finite
+     * doubles, anything else is a miss.
+     */
+    virtual std::optional<std::vector<double>>
+    fetch(const std::string &key, std::size_t expected) = 0;
+
+    /** Implementation tag for logs/diagnostics ("fs", "net"). */
+    virtual const char *kind() const = 0;
+};
+
+/**
+ * Pick the lease provider for one sweep against @p cache from the
+ * environment, in priority order:
+ *
+ *   1. EBM_COORDINATOR=host:port — network leases against that
+ *      coordinator (connection failure degrades to standalone with a
+ *      warning: the sweep computes everything locally, which is
+ *      always correct, merely not shared);
+ *   2. EBM_SWEEP_SHARD=1 — filesystem claims next to the store;
+ *   3. neither — nullptr (the ordinary uncoordinated sweep).
+ */
+std::unique_ptr<LeaseProvider> makeLeaseProvider(DiskCache &cache);
+
+/**
+ * Periodic in-run heartbeat for one held lease (RAII) — the
+ * LeaseProvider counterpart of ClaimHeartbeater (shard_claim.hpp),
+ * spanning a row's whole attempt loop with a background thread that
+ * renews the lease every staleThreshold()/4 so a row longer than the
+ * staleness window never looks abandoned to peers. The same tick
+ * touches the EBM_WORKER_HEARTBEAT file, tying the sweep
+ * supervisor's hang detector to the same liveness signal.
+ *
+ * If a tick discovers the lease was fenced (a peer took the row over
+ * after a stall longer than the window), it stops renewing and
+ * latches fenced(); the owner checks after the run and demotes its
+ * result to a duplicate compute.
+ */
+class LeaseHeartbeater
+{
+  public:
+    /** Start heartbeating @p key on @p lease. Either may be null /
+     * empty — then this is an inert object (the unleased path). */
+    LeaseHeartbeater(LeaseProvider *lease, std::string key);
+    ~LeaseHeartbeater();
+
+    LeaseHeartbeater(const LeaseHeartbeater &) = delete;
+    LeaseHeartbeater &operator=(const LeaseHeartbeater &) = delete;
+
+    /** Did a heartbeat discover the lease was taken over? */
+    bool fenced() const
+    {
+        return fenced_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+
+    LeaseProvider *lease_;
+    std::string key_;
+    std::atomic<bool> fenced_{false};
+    bool stop_ = false;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
+
+} // namespace ebm

@@ -9,6 +9,7 @@
 #include "common/job_pool.hpp"
 #include "common/log.hpp"
 #include "harness/cost_model.hpp"
+#include "harness/lease_provider.hpp"
 #include "harness/shard_claim.hpp"
 
 namespace ebm {
@@ -79,15 +80,15 @@ ProfileDb::profile(const AppProfile &app)
     prof.levels = GpuConfig::tlpLevels();
     prof.perLevel.resize(prof.levels.size());
 
-    // Cross-process sharding (EBM_SWEEP_SHARD): levels are claimed at
-    // dispatch like sweep rows. An armed fault injector keeps the
-    // pass serial *and* unsharded — its query order is part of the
-    // documented fault schedule and must not depend on which process
-    // wins a claim.
-    std::optional<ShardClaims> claims;
-    if (ShardClaims::shardingEnabled() &&
-        runner_.options().faultInjector == nullptr)
-        claims.emplace(cache_.path());
+    // Cross-process sharding: levels are leased at dispatch like
+    // sweep rows (EBM_SWEEP_SHARD for filesystem claims,
+    // EBM_COORDINATOR for network leases). An armed fault injector
+    // keeps the pass serial *and* unsharded — its query order is part
+    // of the documented fault schedule and must not depend on which
+    // process wins a lease.
+    std::unique_ptr<LeaseProvider> lease;
+    if (runner_.options().faultInjector == nullptr)
+        lease = makeLeaseProvider(cache_);
 
     // Serial pass in level order: cache probes (and their warnings)
     // happen in the same order at any job count; misses become tasks.
@@ -117,10 +118,11 @@ ProfileDb::profile(const AppProfile &app)
                              runner_.options().measureCycles;
     auto simulateLevel = [&](std::size_t i) {
         // In-run heartbeat: an alone run longer than the staleness
-        // window must not look abandoned to peers (shard_claim.hpp).
-        std::optional<ClaimHeartbeater> beat;
-        if (claims)
-            beat.emplace(&*claims, keys[i]);
+        // window must not look abandoned to peers
+        // (lease_provider.hpp).
+        std::optional<LeaseHeartbeater> beat;
+        if (lease)
+            beat.emplace(lease.get(), keys[i]);
         const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = runner_.runAlone(app, prof.levels[i]);
         const std::chrono::duration<double> dt =
@@ -131,13 +133,17 @@ ProfileDb::profile(const AppProfile &app)
         cache_.put(keys[i],
                    {stats.ipc, stats.bw, stats.l1Mr, stats.l2Mr});
         prof.perLevel[i] = stats;
-        if (claims) {
-            // Group commit may return before the covering batch
-            // lands; peers read "claim gone" as "result durable".
-            cache_.sync();
+        if (lease) {
+            // Publish before dropping the lease; peers read "lease
+            // gone" as "result durable" (group commit in filesystem
+            // mode, record stream to the coordinator in network
+            // mode).
+            lease->publish(keys[i],
+                           {stats.ipc, stats.bw, stats.l1Mr,
+                            stats.l2Mr});
             const bool was_fenced = beat->fenced();
             beat.reset();
-            if (was_fenced || !claims->release(keys[i])) {
+            if (was_fenced || !lease->release(keys[i])) {
                 warn("ProfileDb: fenced while computing " + keys[i] +
                      "; result kept as a duplicate");
             }
@@ -146,17 +152,16 @@ ProfileDb::profile(const AppProfile &app)
 
     // Header echo for takeover epochs, as in Exhaustive::sweep.
     auto noteEpoch = [&](std::size_t i) {
-        const std::uint64_t epoch = claims->ownedEpoch(keys[i]);
+        const std::uint64_t epoch = lease->ownedEpoch(keys[i]);
         if (epoch > 1)
             cache_.noteFencingEpoch(epoch);
     };
 
     // Fold in a level a cooperating process finished since our probe
-    // pass (its claim is already released, so only the store can tell
-    // "done" from "never started").
+    // pass (its lease is already released, so only the authoritative
+    // store can tell "done" from "never started").
     auto probePeer = [&](std::size_t i) {
-        cache_.refresh();
-        const auto v = cache_.getValidated(keys[i], 4);
+        const auto v = lease->fetch(keys[i], 4);
         if (!v)
             return false;
         prof.perLevel[i].ipc = (*v)[0];
@@ -175,17 +180,17 @@ ProfileDb::profile(const AppProfile &app)
     std::mutex deferred_mu;
     auto runLevel = [&](std::size_t i) {
         ClaimHeartbeater::touchWorkerHeartbeat();
-        if (claims) {
+        if (lease) {
             if (probePeer(i))
                 return;
-            if (!claims->tryAcquire(keys[i])) {
+            if (!lease->tryAcquire(keys[i])) {
                 std::lock_guard<std::mutex> lk(deferred_mu);
                 deferred.push_back(i);
                 return;
             }
             noteEpoch(i);
             if (probePeer(i)) {
-                claims->release(keys[i]);
+                lease->release(keys[i]);
                 return;
             }
         }
@@ -226,38 +231,32 @@ ProfileDb::profile(const AppProfile &app)
     }
 
     // Wait phase (sharding only), in level order: a finished peer's
-    // result appears on refresh(), a killed peer's claim goes stale
-    // and is taken over. Alone runs have no skip path — a failure
-    // throws — so there is no skip marker to replicate here.
+    // result appears on the next fetch, a killed peer's lease goes
+    // stale and is taken over. Alone runs have no skip path — a
+    // failure throws — so there is no skip marker to replicate here.
     std::sort(deferred.begin(), deferred.end());
     for (const std::size_t i : deferred) {
         for (bool waiting = true; waiting;) {
-            cache_.refresh();
-            if (const auto v = cache_.getValidated(keys[i], 4)) {
-                prof.perLevel[i].ipc = (*v)[0];
-                prof.perLevel[i].bw = (*v)[1];
-                prof.perLevel[i].l1Mr = (*v)[2];
-                prof.perLevel[i].l2Mr = (*v)[3];
+            if (probePeer(i))
                 break;
-            }
-            switch (claims->peek(keys[i])) {
-              case ShardClaims::State::Absent:
-                if (claims->tryAcquire(keys[i])) {
+            switch (lease->peek(keys[i])) {
+              case LeaseProvider::State::Absent:
+                if (lease->tryAcquire(keys[i])) {
                     noteEpoch(i);
                     if (!probePeer(i))
                         simulateLevel(i);
                     else
-                        claims->release(keys[i]);
+                        lease->release(keys[i]);
                     waiting = false;
                 }
                 break;
-              case ShardClaims::State::Stale:
-                if (claims->breakStale(keys[i])) {
+              case LeaseProvider::State::Stale:
+                if (lease->breakStale(keys[i])) {
                     noteEpoch(i);
                     if (!probePeer(i))
                         simulateLevel(i);
                     else
-                        claims->release(keys[i]);
+                        lease->release(keys[i]);
                     waiting = false;
                 }
                 break;

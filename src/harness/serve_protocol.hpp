@@ -1,17 +1,9 @@
 /**
  * @file
- * Wire protocol of the advisor serving daemon (`ebm-advised`): a
- * length-prefixed, checksum-framed request/response exchange over a
- * byte stream, sharing the storefmt framing discipline (explicit
- * magic, explicit length, FNV checksum over the payload bits) so a
- * garbled or truncated frame is detected before any payload byte is
- * interpreted.
- *
- * Frame layout (host-endian integers, like the v3 store — the daemon
- * and its clients share one machine):
- *
- *     u32 frame magic "EBS1" | u32 payloadLen | payload bytes |
- *     u64 FNV-1a checksum over the payload
+ * Wire protocol of the advisor serving daemon (`ebm-advised`): single-
+ * line text verbs carried in EBS1 frames (common/wire.hpp — the one
+ * shared framing implementation, also used by the distributed sweep
+ * fabric and the serving benches).
  *
  * Payloads are single-line UTF-8 text, one request or response per
  * frame:
@@ -26,179 +18,26 @@
  *               PENDING ticket=<id> ...
  *               ERROR <code> <message>
  *
- * The reader is incremental: bytes are fed in as recv() produces
- * them, and frames are extracted once complete — a frame split across
- * any number of reads reassembles byte-for-byte (locked by test).
+ * The servefmt names below are aliases into ebm::wire, kept so the
+ * daemon, its clients, and their tests read as one protocol layer
+ * (and so existing includes keep compiling unchanged).
  */
 #pragma once
 
-#include <cstdint>
-#include <cstring>
-#include <sstream>
-#include <string>
-#include <vector>
-
-#include "common/net.hpp"
+#include "common/wire.hpp"
 
 namespace ebm::servefmt {
 
-constexpr std::uint32_t kFrameMagic = 0x31534245u; // "EBS1", LE bytes.
-constexpr std::size_t kFrameHeadBytes = 8;         // magic + length.
-constexpr std::size_t kFrameTailBytes = 8;         // checksum.
-/** Sanity bound a valid payload never exceeds; larger is hostile or
- * corrupt, and the connection is dropped rather than buffered. */
-constexpr std::uint32_t kMaxPayloadBytes = 1u << 16;
+using wire::kFrameMagic;
+using wire::kFrameHeadBytes;
+using wire::kFrameTailBytes;
+using wire::kMaxPayloadBytes;
 
-/** FNV-1a over the payload bytes (storefmt's key hash, same mixer). */
-inline std::uint64_t
-payloadChecksum(const std::string &payload)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const char c : payload) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Serialize one frame around @p payload. */
-inline std::string
-encodeFrame(const std::string &payload)
-{
-    std::string buf;
-    buf.reserve(kFrameHeadBytes + payload.size() + kFrameTailBytes);
-    const std::uint32_t magic = kFrameMagic;
-    const auto len = static_cast<std::uint32_t>(payload.size());
-    buf.append(reinterpret_cast<const char *>(&magic), sizeof magic);
-    buf.append(reinterpret_cast<const char *>(&len), sizeof len);
-    buf.append(payload);
-    const std::uint64_t sum = payloadChecksum(payload);
-    buf.append(reinterpret_cast<const char *>(&sum), sizeof sum);
-    return buf;
-}
-
-/**
- * Incremental frame extractor. feed() bytes as the transport produces
- * them; next() yields complete payloads. Distinguishes "need more
- * bytes" (a frame still in flight) from "bad bytes" (wrong magic,
- * impossible length, checksum mismatch) — only the former is
- * retryable, exactly like storefmt's torn-vs-corrupt split.
- */
-class FrameReader
-{
-  public:
-    enum class Status : std::uint8_t {
-        NeedMore, ///< No complete frame buffered yet.
-        Frame,    ///< @p payload holds the next frame's payload.
-        Bad,      ///< The stream is garbled; drop the connection.
-    };
-
-    /** Append @p len transport bytes. */
-    void
-    feed(const char *data, std::size_t len)
-    {
-        buffer_.append(data, len);
-    }
-
-    /** Extract the next complete frame into @p payload. */
-    Status
-    next(std::string &payload, std::string *error = nullptr)
-    {
-        if (bad_) {
-            if (error != nullptr)
-                *error = badReason_;
-            return Status::Bad;
-        }
-        if (buffer_.size() < kFrameHeadBytes)
-            return Status::NeedMore;
-        std::uint32_t magic = 0, len = 0;
-        std::memcpy(&magic, buffer_.data(), sizeof magic);
-        std::memcpy(&len, buffer_.data() + 4, sizeof len);
-        if (magic != kFrameMagic)
-            return fail("bad frame magic", error);
-        if (len > kMaxPayloadBytes)
-            return fail("oversized frame (" + std::to_string(len) +
-                            " bytes declared)",
-                        error);
-        const std::size_t need = kFrameHeadBytes + len + kFrameTailBytes;
-        if (buffer_.size() < need)
-            return Status::NeedMore;
-        payload.assign(buffer_.data() + kFrameHeadBytes, len);
-        std::uint64_t stored = 0;
-        std::memcpy(&stored, buffer_.data() + kFrameHeadBytes + len,
-                    sizeof stored);
-        if (payloadChecksum(payload) != stored)
-            return fail("frame checksum mismatch", error);
-        buffer_.erase(0, need);
-        return Status::Frame;
-    }
-
-    /** Bytes buffered but not yet consumed (diagnostics/tests). */
-    std::size_t buffered() const { return buffer_.size(); }
-
-  private:
-    Status
-    fail(std::string reason, std::string *error)
-    {
-        bad_ = true;
-        badReason_ = std::move(reason);
-        if (error != nullptr)
-            *error = badReason_;
-        return Status::Bad;
-    }
-
-    std::string buffer_;
-    bool bad_ = false;
-    std::string badReason_;
-};
-
-/** Write one framed @p payload to @p fd. @return false on I/O error. */
-inline bool
-sendFrame(int fd, const std::string &payload)
-{
-    const std::string frame = encodeFrame(payload);
-    return netWriteFull(fd, frame.data(), frame.size());
-}
-
-/**
- * Blocking-read one frame from @p fd into @p payload, reassembling
- * partial reads through @p reader (per-connection state, so pipelined
- * frames are never lost between calls). @return false on EOF, I/O
- * error, bad frame, or @p timeout_ms expiring (-1 = no deadline).
- */
-inline bool
-recvFrame(int fd, FrameReader &reader, std::string &payload,
-          int timeout_ms = -1)
-{
-    for (;;) {
-        switch (reader.next(payload)) {
-          case FrameReader::Status::Frame:
-            return true;
-          case FrameReader::Status::Bad:
-            return false;
-          case FrameReader::Status::NeedMore:
-            break;
-        }
-        if (timeout_ms >= 0 && !netWaitReadable(fd, timeout_ms))
-            return false;
-        char buf[4096];
-        const ssize_t n = netRead(fd, buf, sizeof buf);
-        if (n <= 0)
-            return false;
-        reader.feed(buf, static_cast<std::size_t>(n));
-    }
-}
-
-/** Split a payload into whitespace-delimited tokens. */
-inline std::vector<std::string>
-splitTokens(const std::string &payload)
-{
-    std::vector<std::string> tokens;
-    std::istringstream in(payload);
-    std::string tok;
-    while (in >> tok)
-        tokens.push_back(tok);
-    return tokens;
-}
+using wire::payloadChecksum;
+using wire::encodeFrame;
+using wire::FrameReader;
+using wire::sendFrame;
+using wire::recvFrame;
+using wire::splitTokens;
 
 } // namespace ebm::servefmt

@@ -1,5 +1,6 @@
 #include "harness/shard_claim.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -286,6 +287,38 @@ ShardClaims::breakStale(const std::string &key)
         return false; // Vanished: owner finished after all.
     (void)::unlink(path.c_str());
     return tryAcquire(key);
+}
+
+std::size_t
+sweepOrphanedEpochs(const std::string &store_path)
+{
+    const std::string dir = store_path + ".claims";
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return 0;
+    std::size_t removed = 0;
+    const char *suffix = ".epoch";
+    const std::size_t suffix_len = std::strlen(suffix);
+    while (struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() <= suffix_len ||
+            name.compare(name.size() - suffix_len, suffix_len,
+                         suffix) != 0)
+            continue;
+        const std::string stem =
+            name.substr(0, name.size() - suffix_len);
+        struct stat st = {};
+        if (::stat((dir + "/" + stem + ".claim").c_str(), &st) == 0)
+            continue; // Live (or just-broken) claim: counter is hot.
+        const std::string path = dir + "/" + name;
+        const long long age = ageMs(path);
+        if (age >= 0 && age > ShardClaims::staleThreshold().count()) {
+            if (::unlink(path.c_str()) == 0)
+                ++removed;
+        }
+    }
+    ::closedir(d);
+    return removed;
 }
 
 ClaimHeartbeater::ClaimHeartbeater(ShardClaims *claims, std::string key)

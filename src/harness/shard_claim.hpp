@@ -145,6 +145,26 @@ class ShardClaims
 };
 
 /**
+ * Remove orphaned `<keyfp>.epoch` sidecars from `<store_path>.claims/`
+ * — epoch counters whose claim file is gone (the row finished or was
+ * never re-contended) and whose own mtime is older than the staleness
+ * window. Sidecars under a live or freshly released claim are kept:
+ * the claim dir is hot and the counter may be re-read momentarily.
+ *
+ * Deleting an orphan resets that key's epoch counter, which at worst
+ * repeats an epoch after a much later re-acquisition — the same
+ * degradation bumpEpoch() already documents for torn writes: fencing
+ * degrades to unfenced for that key, never to a wrong takeover; and
+ * any waiter from the old generation would find the durable result in
+ * the store anyway. Called from DiskCache::compact() and fsck repair,
+ * where the store is quiescent by contract.
+ *
+ * @return the number of sidecars removed (0 when the claim dir does
+ * not exist).
+ */
+std::size_t sweepOrphanedEpochs(const std::string &store_path);
+
+/**
  * Periodic in-run heartbeat for one held claim (RAII).
  *
  * The per-attempt heartbeat in the sweep loop leaves a staleness

@@ -130,6 +130,11 @@ SweepSupervisor::run(const WorkerFn &worker)
             // atexit chain twice.
             if (!hb.empty())
                 ::setenv("EBM_WORKER_HEARTBEAT", hb.c_str(), 1);
+            // Point the child's dispatch gate at the coordinator:
+            // makeLeaseProvider reads this and leases rows over TCP.
+            if (!options_.coordinator.empty())
+                ::setenv("EBM_COORDINATOR",
+                         options_.coordinator.c_str(), 1);
             int rc = 125;
             try {
                 rc = worker(s, slot.attempt);

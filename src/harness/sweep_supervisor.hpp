@@ -66,6 +66,11 @@ class SweepSupervisor
         /** Directory for the per-slot heartbeat files (created if
          * missing). Empty = no hang detection, crash-only restarts. */
         std::string heartbeatDir;
+        /** Coordinator address ("host:port") exported to each worker
+         * child as EBM_COORDINATOR, so supervised workers lease rows
+         * over TCP instead of filesystem claims. Empty = inherit the
+         * parent's environment unchanged. */
+        std::string coordinator;
     };
 
     /** What happened to one slot across all its worker lives. */
